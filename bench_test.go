@@ -1,0 +1,304 @@
+package cloudsync
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its artifact from scratch and reports the headline
+// quantity as a custom metric, so `go test -bench=. -benchmem`
+// doubles as the reproduction harness (cmd/tuebench prints the full
+// tables).
+
+import (
+	"testing"
+	"time"
+
+	"cloudsync/internal/client"
+	"cloudsync/internal/core"
+	"cloudsync/internal/service"
+	"cloudsync/internal/trace"
+)
+
+// benchTrace is shared by the trace-driven benches.
+var benchTrace []trace.Record
+
+func getBenchTrace() []trace.Record {
+	if benchTrace == nil {
+		benchTrace = trace.Generate(trace.GenConfig{Seed: 1, Scale: 0.05})
+	}
+	return benchTrace
+}
+
+// BenchmarkFig2TraceCDF regenerates Fig. 2: the original- and
+// compressed-size CDFs of the trace.
+func BenchmarkFig2TraceCDF(b *testing.B) {
+	recs := getBenchTrace()
+	var smallFrac float64
+	for i := 0; i < b.N; i++ {
+		_, orig, _ := core.Fig2(recs)
+		smallFrac = orig[3] // CDF at 100 KB
+	}
+	b.ReportMetric(smallFrac*100, "%files<100KB")
+}
+
+// BenchmarkTable6FileCreation regenerates Table 6: sync traffic of a
+// compressed file creation across services, access methods, and sizes.
+func BenchmarkTable6FileCreation(b *testing.B) {
+	var tue1B float64
+	for i := 0; i < b.N; i++ {
+		cells := core.Experiment1(core.QuickSizes)
+		for _, c := range cells {
+			if c.Service == service.Dropbox && c.Access == client.PC && c.Param == 1 {
+				tue1B = c.TUE
+			}
+		}
+	}
+	b.ReportMetric(tue1B, "TUE(dropbox,1B)")
+}
+
+// BenchmarkFig3TUEvsSize regenerates Fig. 3: TUE vs created-file size
+// for PC clients.
+func BenchmarkFig3TUEvsSize(b *testing.B) {
+	var tue1MB float64
+	for i := 0; i < b.N; i++ {
+		cells := core.Experiment1PC([]int64{100 << 10, 1 << 20, 10 << 20})
+		for _, c := range cells {
+			if c.Service == service.GoogleDrive && c.Param == 1<<20 {
+				tue1MB = c.TUE
+			}
+		}
+	}
+	b.ReportMetric(tue1MB, "TUE(gdrive,1MB)")
+}
+
+// BenchmarkTable7BatchedCreation regenerates Table 7: 100 × 1 KB
+// batched creations and BDS detection.
+func BenchmarkTable7BatchedCreation(b *testing.B) {
+	var dropboxTUE float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range core.Experiment1Batch() {
+			if r.Service == service.Dropbox && r.Access == client.PC {
+				dropboxTUE = r.TUE
+			}
+		}
+	}
+	b.ReportMetric(dropboxTUE, "TUE(dropbox,batch)")
+}
+
+// BenchmarkExp2FileDeletion regenerates Experiment 2: deletion traffic.
+func BenchmarkExp2FileDeletion(b *testing.B) {
+	var maxTraffic int64
+	for i := 0; i < b.N; i++ {
+		maxTraffic = 0
+		for _, c := range core.Experiment2([]int64{10 << 20}) {
+			if c.Traffic > maxTraffic {
+				maxTraffic = c.Traffic
+			}
+		}
+	}
+	b.ReportMetric(float64(maxTraffic), "max-delete-bytes")
+}
+
+// BenchmarkFig4ByteModification regenerates Fig. 4: one-byte
+// modification traffic, exposing each service's sync granularity.
+func BenchmarkFig4ByteModification(b *testing.B) {
+	var dropboxBytes int64
+	for i := 0; i < b.N; i++ {
+		for _, c := range core.Experiment3([]int64{1 << 20}) {
+			if c.Service == service.Dropbox && c.Access == client.PC {
+				dropboxBytes = c.Traffic
+			}
+		}
+	}
+	b.ReportMetric(float64(dropboxBytes), "dropbox-IDS-bytes")
+}
+
+// BenchmarkTable8Compression regenerates Table 8: 10 MB text file
+// upload and download traffic per service and access method.
+func BenchmarkTable8Compression(b *testing.B) {
+	var dropboxUpMB float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range core.Experiment4(10 << 20) {
+			if c.Service == service.Dropbox && c.Access == client.PC {
+				dropboxUpMB = float64(c.UpBytes) / (1 << 20)
+			}
+		}
+	}
+	b.ReportMetric(dropboxUpMB, "dropbox-UP-MB")
+}
+
+// BenchmarkTable9DedupGranularity regenerates Table 9 via Algorithm 1
+// and the duplicate-file probes.
+func BenchmarkTable9DedupGranularity(b *testing.B) {
+	var dropboxBlockMB float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range core.Experiment5() {
+			if r.Service == service.Dropbox && r.SameUser == "4 MB" {
+				dropboxBlockMB = 4
+			}
+		}
+	}
+	b.ReportMetric(dropboxBlockMB, "dropbox-block-MB")
+}
+
+// BenchmarkFig5DedupRatio regenerates Fig. 5: cross-user dedup ratio
+// vs block size on the trace.
+func BenchmarkFig5DedupRatio(b *testing.B) {
+	recs := getBenchTrace()
+	var fullFile float64
+	for i := 0; i < b.N; i++ {
+		points := core.Fig5(recs)
+		fullFile = points[0].Ratio
+	}
+	b.ReportMetric(fullFile, "fullfile-ratio")
+}
+
+// BenchmarkFig6FrequentMods regenerates Fig. 6: the "X KB / X sec"
+// appending workload for all six services.
+func BenchmarkFig6FrequentMods(b *testing.B) {
+	var boxTUE float64
+	for i := 0; i < b.N; i++ {
+		cells := core.Experiment6(service.All(), []float64{2, 11})
+		for _, c := range cells {
+			if c.Service == service.Box && c.Param == 2 {
+				boxTUE = c.TUE
+			}
+		}
+	}
+	b.ReportMetric(boxTUE, "TUE(box,X=2)")
+}
+
+// BenchmarkASDvsFixed regenerates the § 6.1 ASD evaluation.
+func BenchmarkASDvsFixed(b *testing.B) {
+	var asdTUE float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range core.ASDEvaluation(service.GoogleDrive, []float64{8}) {
+			if c.Policy == "asd" {
+				asdTUE = c.TUE
+			}
+		}
+	}
+	b.ReportMetric(asdTUE, "TUE(asd,X=8)")
+}
+
+// BenchmarkFig7Locations regenerates Fig. 7: Minnesota vs Beijing.
+func BenchmarkFig7Locations(b *testing.B) {
+	var bjTUE float64
+	for i := 0; i < b.N; i++ {
+		cells := core.Experiment7([]service.Name{service.Dropbox}, []float64{1})
+		for _, c := range cells {
+			if c.Location == "BJ" {
+				bjTUE = c.TUE
+			}
+		}
+	}
+	b.ReportMetric(bjTUE, "TUE(dropbox,BJ,X=1)")
+}
+
+// BenchmarkFig8Network regenerates Fig. 8(a)/(b): bandwidth and
+// latency sweeps.
+func BenchmarkFig8Network(b *testing.B) {
+	var slowTUE float64
+	for i := 0; i < b.N; i++ {
+		bw := core.Fig8a([]int64{1_600_000, 20_000_000})
+		slowTUE = bw[0].TUE
+		core.Fig8b([]time.Duration{40 * time.Millisecond, time.Second})
+	}
+	b.ReportMetric(slowTUE, "TUE(1.6Mbps)")
+}
+
+// BenchmarkFig8cHardware regenerates Fig. 8(c): the hardware sweep.
+func BenchmarkFig8cHardware(b *testing.B) {
+	var m2TUE float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range core.Fig8c([]float64{1}) {
+			if c.Machine == "M2" {
+				m2TUE = c.TUE
+			}
+		}
+	}
+	b.ReportMetric(m2TUE, "TUE(M2,X=1)")
+}
+
+// BenchmarkTraceFindings regenerates the § 4–5 trace statistics.
+func BenchmarkTraceFindings(b *testing.B) {
+	recs := getBenchTrace()
+	var compressible float64
+	for i := 0; i < b.N; i++ {
+		s := trace.Analyze(recs)
+		compressible = s.CompressibleFraction
+	}
+	b.ReportMetric(compressible*100, "%compressible")
+}
+
+// BenchmarkMidLayerAblation regenerates the § 4.3 mid-layer ablation.
+func BenchmarkMidLayerAblation(b *testing.B) {
+	var transformBytes int64
+	for i := 0; i < b.N; i++ {
+		for _, r := range core.MidLayerAblation(1<<20, 20) {
+			if r.Layer == "get-put-delete" {
+				transformBytes = r.InternalBytes()
+			}
+		}
+	}
+	b.ReportMetric(float64(transformBytes), "transform-bytes")
+}
+
+// BenchmarkCompressDedupAblation regenerates the § 5.2 compression ×
+// deduplication ablation.
+func BenchmarkCompressDedupAblation(b *testing.B) {
+	recs := getBenchTrace()
+	var decompress int64
+	for i := 0; i < b.N; i++ {
+		for _, r := range core.CompressDedupAblation(recs, 4<<20) {
+			if r.Compression && r.DecompressBytes > 0 {
+				decompress = r.DecompressBytes
+			}
+		}
+	}
+	b.ReportMetric(float64(decompress), "decompress-bytes")
+}
+
+// BenchmarkReferenceDesign evaluates the combined provider
+// recommendations against the six services.
+func BenchmarkReferenceDesign(b *testing.B) {
+	var worstEdge float64
+	for i := 0; i < b.N; i++ {
+		cells := core.ReferenceComparison()
+		worstEdge = 0
+		for _, c := range cells {
+			if edge := c.Worst / c.Reference; edge > worstEdge {
+				worstEdge = edge
+			}
+		}
+	}
+	b.ReportMetric(worstEdge, "max-savings-x")
+}
+
+// BenchmarkTraceReplay replays the trace workload through the engine
+// under the Dropbox profile.
+func BenchmarkTraceReplay(b *testing.B) {
+	recs := trace.Generate(trace.GenConfig{Seed: 1, Scale: 0.01})
+	var tue float64
+	for i := 0; i < b.N; i++ {
+		tue = core.TraceReplay(service.Dropbox, recs, 100).TUE
+	}
+	b.ReportMetric(tue, "TUE(replay)")
+}
+
+// BenchmarkChunkingAblation regenerates the chunking-discipline
+// ablation (fixed vs content-defined vs rsync under insertions).
+func BenchmarkChunkingAblation(b *testing.B) {
+	var advantage float64
+	for i := 0; i < b.N; i++ {
+		cells := core.ChunkingAblation(6, 1<<20, 512)
+		advantage = float64(cells[0].Uploaded) / float64(cells[1].Uploaded)
+	}
+	b.ReportMetric(advantage, "cdc-advantage-x")
+}
+
+// BenchmarkDefermentInference regenerates the § 6.1 deferment probes.
+func BenchmarkDefermentInference(b *testing.B) {
+	var t time.Duration
+	for i := 0; i < b.N; i++ {
+		t, _ = core.InferDeferment(service.GoogleDrive)
+	}
+	b.ReportMetric(t.Seconds(), "gdrive-defer-s")
+}

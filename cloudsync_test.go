@@ -1,0 +1,162 @@
+package cloudsync
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sim := New(Dropbox, PC)
+	if err := sim.CreateRandomFile("photo.jpg", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if sim.Traffic() < 1<<20 {
+		t.Fatalf("traffic = %d, want ≥ file size", sim.Traffic())
+	}
+	tue := sim.TUE(1 << 20)
+	if tue < 1.0 || tue > 1.6 {
+		t.Fatalf("TUE = %.2f, want ≈ 1.3", tue)
+	}
+	size, err := sim.CloudFileSize("photo.jpg")
+	if err != nil || size != 1<<20 {
+		t.Fatalf("cloud size = %d, %v", size, err)
+	}
+	if sim.Sessions() == 0 {
+		t.Fatal("no sessions recorded")
+	}
+}
+
+func TestServicesEnumeration(t *testing.T) {
+	if len(Services()) != 6 {
+		t.Fatalf("Services() = %d", len(Services()))
+	}
+}
+
+func TestReferenceDesignViaFacade(t *testing.T) {
+	sim := New(Reference, PC)
+	// Appends past any fixed-deferment boundary still batch (ASD), and
+	// compressible content shrinks on the wire.
+	sim.CreateTextFile("doc.txt", 1<<20)
+	sim.Run()
+	if tue := sim.TUE(1 << 20); tue > 0.8 {
+		t.Fatalf("reference text TUE = %.2f, want < 0.8 (compression)", tue)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reference design on Web access should panic")
+		}
+	}()
+	New(Reference, Web)
+}
+
+func TestTUEWrapper(t *testing.T) {
+	if got := TUE(200, 100); got != 2.0 {
+		t.Fatalf("TUE = %v", got)
+	}
+}
+
+func TestResetTraffic(t *testing.T) {
+	sim := New(GoogleDrive, PC)
+	sim.CreateRandomFile("a", 1000)
+	sim.Run()
+	sim.ResetTraffic()
+	if sim.Traffic() != 0 {
+		t.Fatal("ResetTraffic did not zero counters")
+	}
+	sim.ModifyByte("a", 10)
+	sim.Run()
+	if sim.Traffic() == 0 {
+		t.Fatal("no traffic after modify")
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	sim := New(Box, PC,
+		FromBeijing(),
+		WithHardware("M2"),
+		WithUser("bob"),
+	)
+	sim.CreateRandomFile("f", 1000)
+	sim.Run()
+	if sim.Traffic() == 0 {
+		t.Fatal("simulation with options produced no traffic")
+	}
+}
+
+func TestWithNetworkAndASD(t *testing.T) {
+	sim := New(GoogleDrive, PC,
+		WithNetwork(8_000_000, 100*time.Millisecond),
+		WithAdaptiveSyncDefer(500*time.Millisecond, time.Minute),
+	)
+	sim.CreateRandomFile("doc", 0)
+	sim.Run()
+	sim.ResetTraffic()
+	// Appends every 8 s — past Google Drive's native 4.2 s deferment —
+	// batch under ASD.
+	for i := 1; i <= 32; i++ {
+		sim.At(time.Duration(i)*8*time.Second, func() { sim.Append("doc", 1024) })
+	}
+	sim.Run()
+	if tue := sim.TUE(32 * 1024); tue > 4 {
+		t.Fatalf("ASD TUE = %.1f, want ≈ 1", tue)
+	}
+}
+
+func TestWithUnknownHardwarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown hardware did not panic")
+		}
+	}()
+	New(Dropbox, PC, WithHardware("M9"))
+}
+
+func TestSharedCloudDedup(t *testing.T) {
+	alice := New(UbuntuOne, PC, WithUser("alice"))
+	data := []byte("identical content shared by two users; long enough to matter")
+	if err := alice.CreateFileFromBytes("shared.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	alice.Run()
+
+	bob := New(UbuntuOne, PC, WithUser("bob"), SharedCloud(alice))
+	if err := bob.CreateFileFromBytes("mine.txt", append([]byte(nil), data...)); err != nil {
+		t.Fatal(err)
+	}
+	alice.Run() // shared clock
+	if bob.DedupSkips() != 1 {
+		t.Fatalf("cross-user dedup skips = %d, want 1", bob.DedupSkips())
+	}
+}
+
+func TestDownloadAndDirections(t *testing.T) {
+	sim := New(Dropbox, PC)
+	sim.CreateTextFile("doc.txt", 200_000)
+	sim.Run()
+	up := sim.TrafficUp()
+	sim.ResetTraffic()
+	if err := sim.Download("doc.txt"); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if sim.TrafficDown() == 0 || sim.TrafficDown() < sim.TrafficUp() {
+		t.Fatalf("download should be downstream-heavy: up=%d down=%d", sim.TrafficUp(), sim.TrafficDown())
+	}
+	if up == 0 {
+		t.Fatal("upload produced no upstream traffic")
+	}
+	if sim.OverheadBytes() <= 0 {
+		t.Fatal("overhead accounting missing")
+	}
+}
+
+func TestFlowExposed(t *testing.T) {
+	sim := New(SugarSync, Mobile)
+	sim.CreateRandomFile("f", 100)
+	sim.Run()
+	f := sim.Flow()
+	if f.Src == "" && f.Dst == "" {
+		t.Fatal("flow not recorded")
+	}
+}

@@ -1,0 +1,113 @@
+// Command synccli talks to a running syncd: upload (with automatic
+// delta sync on re-upload), download, and delete files.
+//
+// Usage:
+//
+//	synccli -addr 127.0.0.1:7777 -user alice put local.txt remote.txt
+//	synccli -user alice get remote.txt local-copy.txt
+//	synccli -user alice rm remote.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudsync/internal/comp"
+	"cloudsync/internal/syncnet"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: synccli [flags] <command> [args]
+
+commands:
+  put <local> <remote>   upload a file (delta sync if known)
+  get <remote> <local>   download a file
+  rm  <remote>           delete a file (after syncing it this session)
+
+flags:
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7777", "syncd address")
+		user     = flag.String("user", "alice", "account name")
+		device   = flag.String("device", "cli", "device name")
+		compress = flag.Bool("compress", true, "compress uploads (must match syncd)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "synccli: %v\n", err)
+		os.Exit(1)
+	}
+
+	var opts []syncnet.ClientOption
+	if *compress {
+		opts = append(opts, syncnet.WithCompression(comp.High))
+	}
+	c, err := syncnet.Dial("tcp", *addr, *user, *device, opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			fail(err)
+		}
+		stats, err := c.Upload(args[2], data)
+		if err != nil {
+			fail(err)
+		}
+		switch {
+		case stats.DedupHit:
+			fmt.Printf("put %s: deduplicated (v%d, 0 payload bytes)\n", args[2], stats.Version)
+		case stats.DeltaSync:
+			fmt.Printf("put %s: delta sync (v%d, %d payload bytes)\n",
+				args[2], stats.Version, stats.PayloadBytes)
+		default:
+			fmt.Printf("put %s: full upload (v%d, %d payload bytes)\n",
+				args[2], stats.Version, stats.PayloadBytes)
+		}
+	case "get":
+		if len(args) != 3 {
+			usage()
+		}
+		data, err := c.Download(args[1])
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(args[2], data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("get %s: %d bytes\n", args[1], len(data))
+	case "rm":
+		if len(args) != 2 {
+			usage()
+		}
+		// Deletion needs the file id; sync it into this session first.
+		if _, err := c.Download(args[1]); err != nil {
+			fail(err)
+		}
+		if err := c.Delete(args[1]); err != nil {
+			fail(err)
+		}
+		fmt.Printf("rm %s: deleted (content retained server-side for rollback)\n", args[1])
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,73 @@
+// Command traceanalyze reads a trace CSV (written by tracegen) and
+// prints the paper's trace-driven analyses: the Fig. 2 size CDFs, the
+// §§ 4–5 headline statistics, the per-service counts of Table 2, and
+// the Fig. 5 deduplication-ratio-vs-block-size series.
+//
+// Usage:
+//
+//	tracegen -scale 0.1 | traceanalyze
+//	traceanalyze -i trace.csv -fig5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"cloudsync/internal/core"
+	"cloudsync/internal/metrics"
+	"cloudsync/internal/trace"
+)
+
+func main() {
+	var (
+		in    = flag.String("i", "", "input trace CSV (default: stdin)")
+		fig5  = flag.Bool("fig5", false, "also compute the Fig. 5 dedup-ratio series (slow on big traces)")
+		fig2  = flag.Bool("fig2", true, "print the Fig. 2 size CDFs")
+		stats = flag.Bool("stats", true, "print the headline statistics")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceanalyze: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := trace.ReadCSV(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceanalyze: %v\n", err)
+		os.Exit(1)
+	}
+
+	counts := trace.PerServiceCounts(recs)
+	tb := metrics.Table{Header: []string{"Service", "Users", "Files"}}
+	var services []string
+	for svc := range counts {
+		services = append(services, svc)
+	}
+	sort.Strings(services)
+	for _, svc := range services {
+		c := counts[svc]
+		tb.AddRow(svc, fmt.Sprintf("%d", c[0]), fmt.Sprintf("%d", c[1]))
+	}
+	fmt.Println("Per-service counts (cf. Table 2)")
+	fmt.Println(tb.String())
+
+	if *stats {
+		fmt.Println(core.RenderFindings(trace.Analyze(recs)))
+	}
+	if *fig2 {
+		points, orig, comp := core.Fig2(recs)
+		fmt.Println(core.RenderFig2(points, orig, comp))
+	}
+	if *fig5 {
+		fmt.Println(core.RenderFig5(core.Fig5(recs)))
+	}
+}

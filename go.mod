@@ -1,0 +1,3 @@
+module cloudsync
+
+go 1.24

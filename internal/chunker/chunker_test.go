@@ -1,0 +1,331 @@
+package chunker
+
+import (
+	"bytes"
+	"crypto/md5"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudsync/internal/content"
+)
+
+func TestFixedBasics(t *testing.T) {
+	data := content.Random(1000, 1).Bytes()
+	blocks := Fixed(data, 256)
+	if len(blocks) != 4 {
+		t.Fatalf("len(blocks) = %d, want 4", len(blocks))
+	}
+	wantSizes := []int{256, 256, 256, 232}
+	for i, b := range blocks {
+		if b.Size != wantSizes[i] {
+			t.Errorf("block %d size = %d, want %d", i, b.Size, wantSizes[i])
+		}
+		if b.Off != int64(i*256) {
+			t.Errorf("block %d off = %d", i, b.Off)
+		}
+		if b.Sum != md5.Sum(data[b.Off:b.Off+int64(b.Size)]) {
+			t.Errorf("block %d fingerprint mismatch", i)
+		}
+	}
+}
+
+func TestFixedEmpty(t *testing.T) {
+	if got := Fixed(nil, 128); got != nil {
+		t.Fatalf("Fixed(nil) = %v", got)
+	}
+}
+
+func TestFixedExactMultiple(t *testing.T) {
+	data := content.Random(512, 2).Bytes()
+	blocks := Fixed(data, 256)
+	if len(blocks) != 2 || blocks[1].Size != 256 {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+}
+
+func TestFixedInvalidBlockSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fixed with blockSize 0 did not panic")
+		}
+	}()
+	Fixed([]byte{1}, 0)
+}
+
+func TestFingerprintReaderMatchesFixed(t *testing.T) {
+	blob := content.Text(100_000, 3)
+	sums, err := FingerprintReader(blob.Reader(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := Fixed(blob.Bytes(), 4096)
+	if len(sums) != len(blocks) {
+		t.Fatalf("reader gave %d blocks, Fixed gave %d", len(sums), len(blocks))
+	}
+	for i := range sums {
+		if sums[i] != blocks[i].Sum {
+			t.Fatalf("block %d fingerprint mismatch", i)
+		}
+	}
+}
+
+func TestFingerprintReaderEmpty(t *testing.T) {
+	sums, err := FingerprintReader(bytes.NewReader(nil), 128)
+	if err != nil || sums != nil {
+		t.Fatalf("empty reader = (%v, %v)", sums, err)
+	}
+}
+
+func TestNumBlocks(t *testing.T) {
+	cases := []struct {
+		size int64
+		bs   int
+		want int64
+	}{
+		{0, 128, 0}, {1, 128, 1}, {128, 128, 1}, {129, 128, 2}, {1 << 20, 4096, 256},
+	}
+	for _, c := range cases {
+		if got := NumBlocks(c.size, c.bs); got != c.want {
+			t.Errorf("NumBlocks(%d, %d) = %d, want %d", c.size, c.bs, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	in := []Range{{10, 5}, {0, 3}, {12, 10}, {40, 0}, {30, 2}}
+	out := Normalize(in)
+	want := []Range{{0, 3}, {10, 12}, {30, 2}}
+	if len(out) != len(want) {
+		t.Fatalf("Normalize = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestNormalizeAdjacent(t *testing.T) {
+	out := Normalize([]Range{{0, 10}, {10, 10}})
+	if len(out) != 1 || out[0] != (Range{0, 20}) {
+		t.Fatalf("adjacent ranges not merged: %v", out)
+	}
+}
+
+func TestDirtyBlocks(t *testing.T) {
+	cases := []struct {
+		name   string
+		size   int64
+		bs     int
+		ranges []Range
+		want   int64
+	}{
+		{"no ranges", 1000, 100, nil, 0},
+		{"one byte", 1000, 100, []Range{{550, 1}}, 1},
+		{"spans boundary", 1000, 100, []Range{{95, 10}}, 2},
+		{"two ranges same block", 1000, 100, []Range{{10, 5}, {20, 5}}, 1},
+		{"two ranges different blocks", 1000, 100, []Range{{10, 5}, {210, 5}}, 2},
+		{"whole file", 1000, 100, []Range{{0, 1000}}, 10},
+		{"past EOF clamped", 1000, 100, []Range{{950, 500}}, 1},
+		{"fully past EOF", 1000, 100, []Range{{2000, 10}}, 0},
+		{"append region", 1000, 100, []Range{{900, 100}}, 1},
+	}
+	for _, c := range cases {
+		if got := DirtyBlocks(c.size, c.bs, c.ranges); got != c.want {
+			t.Errorf("%s: DirtyBlocks = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDirtyBytes(t *testing.T) {
+	// One dirty byte in a 1000-byte file with 100-byte blocks costs one
+	// full block.
+	if got := DirtyBytes(1000, 100, []Range{{550, 1}}); got != 100 {
+		t.Fatalf("DirtyBytes = %d, want 100", got)
+	}
+	// Final short block costs only its real length.
+	if got := DirtyBytes(950, 100, []Range{{940, 5}}); got != 50 {
+		t.Fatalf("DirtyBytes (short tail) = %d, want 50", got)
+	}
+	if got := DirtyBytes(1000, 100, nil); got != 0 {
+		t.Fatalf("DirtyBytes (clean) = %d, want 0", got)
+	}
+}
+
+// Property: DirtyBlocks matches a brute-force block-marking oracle.
+func TestPropertyDirtyBlocksOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 300; iter++ {
+		size := int64(1 + rng.Intn(5000))
+		bs := 1 + rng.Intn(300)
+		var ranges []Range
+		for i := 0; i < rng.Intn(6); i++ {
+			ranges = append(ranges, Range{
+				Off: int64(rng.Intn(6000)),
+				Len: int64(rng.Intn(500)),
+			})
+		}
+		dirty := make(map[int64]bool)
+		for _, r := range ranges {
+			for b := int64(0); b < NumBlocks(size, bs); b++ {
+				start, end := b*int64(bs), (b+1)*int64(bs)
+				if end > size {
+					end = size
+				}
+				if r.Off < end && r.Off+r.Len > start && r.Len > 0 {
+					dirty[b] = true
+				}
+			}
+		}
+		if got := DirtyBlocks(size, bs, ranges); got != int64(len(dirty)) {
+			t.Fatalf("iter %d: size=%d bs=%d ranges=%v: got %d want %d",
+				iter, size, bs, ranges, got, len(dirty))
+		}
+	}
+}
+
+// Property: Fixed blocks tile the input exactly.
+func TestPropertyFixedTiles(t *testing.T) {
+	f := func(seed int64, szRaw uint16, bsRaw uint8) bool {
+		size := int64(szRaw)
+		bs := int(bsRaw)%1000 + 1
+		data := content.Random(size, seed).Bytes()
+		blocks := Fixed(data, bs)
+		var covered int64
+		for i, b := range blocks {
+			if b.Off != covered {
+				return false
+			}
+			covered += int64(b.Size)
+			if i < len(blocks)-1 && b.Size != bs {
+				return false
+			}
+		}
+		return covered == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentDefinedTiles(t *testing.T) {
+	data := content.Random(200_000, 5).Bytes()
+	blocks := ContentDefined(data, 2048, 8192, 65536)
+	var covered int64
+	for _, b := range blocks {
+		if b.Off != covered {
+			t.Fatalf("gap at %d", covered)
+		}
+		if b.Size < 2048 && b.Off+int64(b.Size) != int64(len(data)) {
+			t.Fatalf("non-final block below min: %+v", b)
+		}
+		if b.Size > 65536 {
+			t.Fatalf("block above max: %+v", b)
+		}
+		covered += int64(b.Size)
+	}
+	if covered != int64(len(data)) {
+		t.Fatalf("covered %d of %d", covered, len(data))
+	}
+	// Average should be loosely near the target.
+	avg := float64(len(data)) / float64(len(blocks))
+	if avg < 2048 || avg > 32768 {
+		t.Fatalf("average chunk %f, want near 8192", avg)
+	}
+}
+
+func TestContentDefinedShiftInvariance(t *testing.T) {
+	// Insert bytes at the front; most chunks after the insertion point
+	// should be identical — the property fixed-size blocking lacks.
+	data := content.Random(300_000, 6).Bytes()
+	shifted := append(append([]byte{}, content.Random(100, 7).Bytes()...), data...)
+	a := ContentDefined(data, 2048, 8192, 65536)
+	b := ContentDefined(shifted, 2048, 8192, 65536)
+	sums := make(map[[md5.Size]byte]bool, len(a))
+	for _, blk := range a {
+		sums[blk.Sum] = true
+	}
+	shared := 0
+	for _, blk := range b {
+		if sums[blk.Sum] {
+			shared++
+		}
+	}
+	if frac := float64(shared) / float64(len(a)); frac < 0.8 {
+		t.Fatalf("only %.2f of chunks survive a front insertion; CDC should preserve most", frac)
+	}
+
+	// Fixed-size blocking, by contrast, loses (nearly) everything.
+	fa := Fixed(data, 8192)
+	fb := Fixed(shifted, 8192)
+	fixedSums := make(map[[md5.Size]byte]bool, len(fa))
+	for _, blk := range fa {
+		fixedSums[blk.Sum] = true
+	}
+	fshared := 0
+	for _, blk := range fb {
+		if fixedSums[blk.Sum] {
+			fshared++
+		}
+	}
+	if fshared > len(fa)/10 {
+		t.Fatalf("fixed blocking unexpectedly survived the shift (%d/%d)", fshared, len(fa))
+	}
+}
+
+func TestContentDefinedValidation(t *testing.T) {
+	for _, c := range []struct{ min, avg, max int }{
+		{0, 8, 16}, {8, 4, 16}, {8, 16, 8}, {4, 7, 16},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ContentDefined(%v) did not panic", c)
+				}
+			}()
+			ContentDefined([]byte{1, 2, 3}, c.min, c.avg, c.max)
+		}()
+	}
+}
+
+func TestContentDefinedDeterministic(t *testing.T) {
+	data := content.Random(50_000, 8).Bytes()
+	a := ContentDefined(data, 1024, 4096, 16384)
+	b := ContentDefined(data, 1024, 4096, 16384)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic chunk count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic chunks")
+		}
+	}
+}
+
+func TestStandardBlockSizes(t *testing.T) {
+	if len(StandardBlockSizes) != 8 {
+		t.Fatalf("want 8 standard sizes (Table 3), got %d", len(StandardBlockSizes))
+	}
+	if StandardBlockSizes[0] != 128<<10 || StandardBlockSizes[7] != 16<<20 {
+		t.Fatalf("standard sizes = %v", StandardBlockSizes)
+	}
+}
+
+func BenchmarkFixed1MB(b *testing.B) {
+	data := content.Random(1<<20, 1).Bytes()
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fixed(data, 128<<10)
+	}
+}
+
+func BenchmarkContentDefined1MB(b *testing.B) {
+	data := content.Random(1<<20, 1).Bytes()
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ContentDefined(data, 2048, 8192, 65536)
+	}
+}

@@ -1,0 +1,235 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"cloudsync/internal/chunker"
+	"cloudsync/internal/comp"
+	"cloudsync/internal/content"
+	"cloudsync/internal/dedup"
+	"cloudsync/internal/store"
+)
+
+func TestCommitCreatesAndVersions(t *testing.T) {
+	c := New(Config{})
+	e := c.Commit("alice", "a.txt", content.Zeros(100), nil)
+	if e.ID == 0 || e.Version != 1 || e.StoredSize != 100 {
+		t.Fatalf("entry = %+v", e)
+	}
+	e2 := c.Commit("alice", "a.txt", content.Zeros(200), nil)
+	if e2.ID != e.ID || e2.Version != 2 {
+		t.Fatalf("second commit = %+v", e2)
+	}
+	got, ok := c.File("alice", "a.txt")
+	if !ok || got.Blob.Size() != 200 {
+		t.Fatalf("File = %+v, %v", got, ok)
+	}
+}
+
+func TestNamespacesIsolated(t *testing.T) {
+	c := New(Config{})
+	c.Commit("alice", "a", content.Zeros(1), nil)
+	if _, ok := c.File("bob", "a"); ok {
+		t.Fatal("bob sees alice's file")
+	}
+}
+
+func TestFakeDeletion(t *testing.T) {
+	c := New(Config{})
+	c.Commit("alice", "a", content.Zeros(1), nil)
+	if err := c.Delete("alice", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.File("alice", "a"); ok {
+		t.Fatal("deleted file still visible")
+	}
+	if err := c.Delete("alice", "a"); err == nil {
+		t.Fatal("double delete should error")
+	}
+	// Re-commit revives the name as a create.
+	e := c.Commit("alice", "a", content.Zeros(5), nil)
+	if e.Deleted {
+		t.Fatal("recommit left file deleted")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	if err := New(Config{}).Delete("alice", "ghost"); err == nil {
+		t.Fatal("delete of missing file should error")
+	}
+}
+
+func TestCommitNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Commit(nil) did not panic")
+		}
+	}()
+	New(Config{}).Commit("alice", "a", nil, nil)
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("block dedup without size did not panic")
+		}
+	}()
+	New(Config{DedupGranularity: dedup.Block})
+}
+
+func TestProbeNoDedup(t *testing.T) {
+	c := New(Config{})
+	blob := content.Random(1000, 1)
+	c.Commit("alice", "a", blob, nil)
+	d := c.ProbeUpload("alice", blob, true)
+	if d.SkipAll {
+		t.Fatal("no-dedup cloud reported a hit")
+	}
+}
+
+func TestProbeFullFileDedup(t *testing.T) {
+	c := New(Config{DedupGranularity: dedup.FullFile})
+	blob := content.Random(1000, 1)
+	if d := c.ProbeUpload("alice", blob, true); d.SkipAll {
+		t.Fatal("hit before any upload")
+	}
+	c.Commit("alice", "a", blob, nil)
+	d := c.ProbeUpload("alice", blob, true)
+	if !d.SkipAll || d.IndexFingerprints != 1 {
+		t.Fatalf("decision = %+v, want full-file hit", d)
+	}
+	// Same user, same content, different name still dedups.
+	if d := c.ProbeUpload("alice", content.Random(1000, 1), true); !d.SkipAll {
+		t.Fatal("identical content not deduplicated")
+	}
+	// Cross-user must miss (per-user scope).
+	if d := c.ProbeUpload("bob", blob, true); d.SkipAll {
+		t.Fatal("per-user dedup hit across users")
+	}
+	// useDedup=false (web access) must not consult the index.
+	if d := c.ProbeUpload("alice", blob, false); d.SkipAll || d.IndexFingerprints != 0 {
+		t.Fatalf("web probe = %+v, want no dedup", d)
+	}
+}
+
+func TestProbeCrossUserDedup(t *testing.T) {
+	c := New(Config{DedupGranularity: dedup.FullFile, DedupCrossUser: true})
+	blob := content.Random(1000, 2)
+	c.Commit("alice", "a", blob, nil)
+	if d := c.ProbeUpload("bob", blob, true); !d.SkipAll {
+		t.Fatal("cross-user dedup missed")
+	}
+}
+
+func TestProbeBlockDedup(t *testing.T) {
+	const bs = 1 << 10
+	c := New(Config{DedupGranularity: dedup.Block, DedupBlockSize: bs})
+	// Literal content, so the self-concatenation (also literal)
+	// fingerprints through the same real-MD5 path.
+	f1 := content.FromBytes(content.Random(4*bs, 3).Bytes())
+	c.Commit("alice", "f1", f1, nil)
+
+	// Self-duplication: f2 = f1 + f1. Every block of f2 already exists.
+	f2 := f1.Concat(f1)
+	d := c.ProbeUpload("alice", f2, true)
+	if !d.SkipAll || d.TotalBlocks != 8 || d.MissingBlocks != 0 {
+		t.Fatalf("self-dup decision = %+v", d)
+	}
+
+	// Half-new file: first half matches, second half is fresh.
+	f3 := f1.Concat(content.Random(4*bs, 99))
+	d = c.ProbeUpload("alice", f3, true)
+	if d.SkipAll || d.MissingBlocks != 4 || d.TotalBlocks != 8 {
+		t.Fatalf("half-new decision = %+v", d)
+	}
+}
+
+func TestProbeBlockDedupLargeDescriptor(t *testing.T) {
+	// Beyond MaterializeLimit the cloud uses identity-based block
+	// fingerprints; an identical re-upload must still fully dedup.
+	const bs = 4 << 20
+	c := New(Config{DedupGranularity: dedup.Block, DedupBlockSize: bs})
+	big := content.Random(largeBlobSize, 5)
+	c.Commit("alice", "big", big, nil)
+	d := c.ProbeUpload("alice", content.Random(largeBlobSize, 5), true)
+	if !d.SkipAll {
+		t.Fatalf("identical large re-upload not deduplicated: %+v", d)
+	}
+}
+
+// largeBlobSize is 128 MB, above content.MaterializeLimit.
+const largeBlobSize = 128 << 20
+
+func TestRecordSkippedUpload(t *testing.T) {
+	c := New(Config{DedupGranularity: dedup.FullFile})
+	blob := content.Random(100, 6)
+	c.Commit("alice", "orig", blob, nil)
+	e := c.RecordSkippedUpload("alice", "copy", blob)
+	if e.Version != 1 {
+		t.Fatalf("skipped upload entry = %+v", e)
+	}
+	if c.DedupSkips != 1 || c.Uploads != 2 {
+		t.Fatalf("counters = skips %d uploads %d", c.DedupSkips, c.Uploads)
+	}
+}
+
+func TestStoredSizeUsesStoreCompression(t *testing.T) {
+	c := New(Config{StoreCompression: comp.High})
+	text := content.Text(100_000, 7)
+	e := c.Commit("alice", "t", text, nil)
+	if e.StoredSize >= text.Size() {
+		t.Fatalf("StoredSize = %d, want < %d (compressed at rest)", e.StoredSize, text.Size())
+	}
+}
+
+func TestServeSizeNegotiatesLevel(t *testing.T) {
+	c := New(Config{StoreCompression: comp.High})
+	text := content.Text(100_000, 8)
+	e := c.Commit("alice", "t", text, nil)
+	full := c.ServeSize(e, comp.None)
+	high := c.ServeSize(e, comp.High)
+	if full != text.Size() {
+		t.Fatalf("None-capable client should receive raw bytes, got %d", full)
+	}
+	if high >= full {
+		t.Fatalf("High-capable client should receive compressed bytes: %d vs %d", high, full)
+	}
+}
+
+func TestMidLayerIntegration(t *testing.T) {
+	rest := store.NewREST()
+	c := New(Config{MidLayer: &store.FullFileLayer{Store: rest}})
+	blob := content.FromBytes([]byte("hello"))
+	c.Commit("alice", "a", blob, nil)
+	if rest.Stats().Puts != 1 {
+		t.Fatalf("mid-layer puts = %d", rest.Stats().Puts)
+	}
+	c.Commit("alice", "a", content.FromBytes([]byte("hello world")),
+		[]chunker.Range{{Off: 5, Len: 6}})
+	if rest.Stats().Puts != 2 {
+		t.Fatalf("mid-layer puts after modify = %d", rest.Stats().Puts)
+	}
+	if err := c.Delete("alice", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if rest.Stats().Deletes != 1 {
+		t.Fatalf("mid-layer deletes = %d", rest.Stats().Deletes)
+	}
+}
+
+func TestProcessingTimeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative ProcessingTime did not panic")
+		}
+	}()
+	New(Config{ProcessingTime: -time.Second})
+}
+
+func TestEmptyBlobProbe(t *testing.T) {
+	c := New(Config{DedupGranularity: dedup.FullFile})
+	if d := c.ProbeUpload("alice", content.Zeros(0), true); d.SkipAll {
+		t.Fatal("empty blob should not dedup-hit")
+	}
+}

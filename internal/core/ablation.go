@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"cloudsync/internal/chunker"
+	"cloudsync/internal/content"
+	"cloudsync/internal/dedup"
+	"cloudsync/internal/store"
+	"cloudsync/internal/trace"
+)
+
+// MidLayerResult is one row of the § 4.3 mid-layer ablation: what a
+// fixed create-modify-read workload costs the provider on each storage
+// design.
+type MidLayerResult struct {
+	Layer string
+	store.Stats
+}
+
+// MidLayerAblation runs the same workload — create a file, apply many
+// small modifications, read it back — through the three REST mid-layer
+// designs and reports the store-internal cost of each. It quantifies
+// the paper's observation that enabling IDS on a full-file RESTful
+// store (the GET+PUT+DELETE transform) trades client traffic for
+// provider-internal traffic.
+func MidLayerAblation(fileSize int64, modifications int) []MidLayerResult {
+	if fileSize <= 0 || fileSize > content.MaterializeLimit {
+		panic(fmt.Sprintf("core: mid-layer ablation size %d out of range", fileSize))
+	}
+	layers := []func(*store.REST) store.MidLayer{
+		func(r *store.REST) store.MidLayer { return &store.FullFileLayer{Store: r} },
+		func(r *store.REST) store.MidLayer { return &store.TransformLayer{Store: r} },
+		func(r *store.REST) store.MidLayer {
+			return &store.ChunkObjectLayer{Store: r, ChunkSize: 64 << 10}
+		},
+	}
+	var out []MidLayerResult
+	for _, mk := range layers {
+		rest := store.NewREST()
+		layer := mk(rest)
+		blob := content.Random(fileSize, nextSeed())
+		if _, err := layer.Create("doc", blob); err != nil {
+			panic(err)
+		}
+		data := append([]byte(nil), blob.Bytes()...)
+		step := fileSize / int64(modifications+1)
+		for i := 0; i < modifications; i++ {
+			off := int64(i+1) * step
+			data[off] ^= 0xFF
+			mod := content.FromBytes(append([]byte(nil), data...))
+			if _, err := layer.Modify("doc", mod, []chunker.Range{{Off: off, Len: 1}}); err != nil {
+				panic(err)
+			}
+		}
+		if _, _, err := layer.Read("doc"); err != nil {
+			panic(err)
+		}
+		out = append(out, MidLayerResult{Layer: layer.Name(), Stats: rest.Stats()})
+	}
+	return out
+}
+
+// AblationCell is one row of the § 5.2 compression × deduplication
+// ablation.
+type AblationCell struct {
+	Compression bool
+	Dedup       dedup.Granularity
+	// Traffic is the upload volume the combination needs for the
+	// workload; DecompressBytes is the server-side decompression work
+	// block-level dedup forces when uploads arrive compressed (the
+	// "technically challenging" conflict the paper describes).
+	Traffic         int64
+	DecompressBytes int64
+}
+
+// metaPerSkip approximates the control traffic of a fully deduplicated
+// upload.
+const metaPerSkip = 200
+
+// CompressDedupAblation replays a trace's uploads under every
+// combination of compression (off/on) and deduplication granularity
+// (none / full-file / block at blockSize) and accounts both the
+// network traffic and the server-side decompression volume. The
+// paper's conclusion falls out of the numbers: full-file dedup plus
+// compression captures nearly all of block-level dedup's savings with
+// zero decompression work.
+func CompressDedupAblation(recs []trace.Record, blockSize int) []AblationCell {
+	if blockSize <= 0 {
+		panic("core: CompressDedupAblation requires a block size")
+	}
+	var out []AblationCell
+	for _, compression := range []bool{false, true} {
+		for _, gran := range []dedup.Granularity{dedup.None, dedup.FullFile, dedup.Block} {
+			cell := AblationCell{Compression: compression, Dedup: gran}
+			seenFiles := make(map[dedup.Fingerprint]bool)
+			seenBlocks := make(map[dedup.Fingerprint]bool)
+			for _, r := range recs {
+				wire := r.OriginalSize
+				if compression {
+					wire = r.CompressedSize
+				}
+				switch gran {
+				case dedup.None:
+					cell.Traffic += wire
+				case dedup.FullFile:
+					// Full-file dedup fingerprints the (possibly
+					// compressed) upload as-is: no decompression ever.
+					fp := r.FullHash()
+					if seenFiles[fp] {
+						cell.Traffic += metaPerSkip
+						continue
+					}
+					seenFiles[fp] = true
+					cell.Traffic += wire
+				case dedup.Block:
+					// Block dedup must fingerprint raw content blocks;
+					// a compressed upload has to be decompressed first.
+					n := r.NumBlocks(blockSize)
+					var missing int64
+					for idx := int64(0); idx < n; idx++ {
+						fp := r.BlockHash(blockSize, idx)
+						if !seenBlocks[fp] {
+							seenBlocks[fp] = true
+							missing++
+						}
+					}
+					if n > 0 {
+						cell.Traffic += wire * missing / n
+					}
+					if missing == 0 {
+						cell.Traffic += metaPerSkip
+					}
+					if compression {
+						cell.DecompressBytes += r.OriginalSize
+					}
+				}
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// Fig2Points are the byte values at which the Fig. 2 CDFs are
+// reported.
+var Fig2Points = []float64{
+	100, 1 << 10, 10 << 10, 100 << 10, 1 << 20,
+	10 << 20, 100 << 20, 1 << 30, 2 << 30,
+}
+
+// Fig2 evaluates the trace's original- and compressed-size CDFs at the
+// standard points.
+func Fig2(recs []trace.Record) (points []float64, orig, comp []float64) {
+	o, c := trace.SizeCDF(recs, Fig2Points)
+	return Fig2Points, o, c
+}

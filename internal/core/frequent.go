@@ -1,0 +1,205 @@
+package core
+
+import (
+	"time"
+
+	"cloudsync/internal/client"
+	"cloudsync/internal/deferpolicy"
+	"cloudsync/internal/hardware"
+	"cloudsync/internal/netem"
+	"cloudsync/internal/service"
+)
+
+// AppendTotal is Experiment 6's total appended volume (C = 1 MB).
+const AppendTotal = 1 << 20
+
+// PaperXs are Experiment 6's append periods: X ∈ {1, …, 20} seconds.
+func PaperXs() []float64 {
+	xs := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return xs
+}
+
+// QuickXs is a reduced sweep.
+func QuickXs() []float64 { return []float64{1, 2, 5, 8, 12, 20} }
+
+// appendTUE runs one "X KB / X sec" experiment and reports its TUE.
+func appendTUE(n service.Name, opts service.Options, x float64) float64 {
+	s := service.NewSetup(n, client.PC, opts)
+	traffic := appendWorkload(s, x, AppendTotal)
+	return TUE(traffic, AppendTotal)
+}
+
+// Experiment6 reproduces Fig. 6: the TUE of each service's PC client
+// under "X KB / X sec" appends from Minnesota on M1 hardware.
+func Experiment6(services []service.Name, xs []float64) []Cell {
+	var out []Cell
+	for _, n := range services {
+		for _, x := range xs {
+			tue := appendTUE(n, service.Options{}, x)
+			out = append(out, Cell{
+				Service: n, Access: client.PC, Param: x,
+				TUE: tue, Traffic: int64(tue * AppendTotal),
+			})
+		}
+	}
+	return out
+}
+
+// InferDeferment probes a service's fixed sync deferment the way
+// § 6.1 does: scan fractional X values for the boundary between the
+// batched regime (TUE ≈ 1) and the traffic-overuse regime. It reports
+// the estimated deferment and whether one was detected at all.
+func InferDeferment(n service.Name) (time.Duration, bool) {
+	const batchedTUE = 3.0
+	probe := func(x float64) bool { // true = still batched
+		return appendTUE(n, service.Options{}, x) < batchedTUE
+	}
+	if !probe(0.6) {
+		return 0, false // no deferment: overuse even at sub-second cadence
+	}
+	lo, hi := 0.6, 16.0
+	if probe(hi) {
+		return 0, false // batches at any cadence: not a fixed deferment
+	}
+	for hi-lo > 0.1 {
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return time.Duration((lo + hi) / 2 * float64(time.Second)), true
+}
+
+// PolicyCell is one ASD-evaluation measurement.
+type PolicyCell struct {
+	Service service.Name
+	Policy  string
+	X       float64
+	TUE     float64
+}
+
+// ASDEvaluation compares the service's native deferment against the
+// paper's proposed ASD and the UDS byte-counter baseline on the
+// appending workload — the § 6.1 claim that ASD keeps TUE near 1 where
+// fixed deferments fail (X > T).
+func ASDEvaluation(n service.Name, xs []float64) []PolicyCell {
+	policies := []struct {
+		label string
+		mk    func() deferpolicy.Policy
+	}{
+		{"native", func() deferpolicy.Policy { return nil }}, // service default
+		{"asd", func() deferpolicy.Policy {
+			return deferpolicy.NewASD(500*time.Millisecond, 45*time.Second)
+		}},
+		{"uds", func() deferpolicy.Policy {
+			return deferpolicy.UDS{Threshold: 256 << 10, MaxDelay: 5 * time.Minute}
+		}},
+	}
+	var out []PolicyCell
+	for _, p := range policies {
+		for _, x := range xs {
+			tue := appendTUE(n, service.Options{Defer: p.mk()}, x)
+			out = append(out, PolicyCell{Service: n, Policy: p.label, X: x, TUE: tue})
+		}
+	}
+	return out
+}
+
+// LocationCell is one Fig. 7 measurement.
+type LocationCell struct {
+	Service  service.Name
+	Location string
+	X        float64
+	TUE      float64
+}
+
+// Experiment7 reproduces Fig. 7: the appending workload from the
+// Minnesota vantage point (close to the cloud) and from Beijing
+// (remote), for the given services.
+func Experiment7(services []service.Name, xs []float64) []LocationCell {
+	locations := []struct {
+		name string
+		link netem.Link
+	}{
+		{"MN", netem.Minnesota()},
+		{"BJ", netem.Beijing()},
+	}
+	var out []LocationCell
+	for _, n := range services {
+		for _, loc := range locations {
+			for _, x := range xs {
+				tue := appendTUE(n, service.Options{Link: loc.link}, x)
+				out = append(out, LocationCell{Service: n, Location: loc.name, X: x, TUE: tue})
+			}
+		}
+	}
+	return out
+}
+
+// NetCell is one Fig. 8(a)/(b) measurement.
+type NetCell struct {
+	// Bps is the link bandwidth; RTT the round-trip time.
+	Bps int64
+	RTT time.Duration
+	TUE float64
+}
+
+// Fig8aBandwidths is the paper's controlled bandwidth range.
+var Fig8aBandwidths = []int64{1_600_000, 3_000_000, 5_000_000, 10_000_000, 15_000_000, 20_000_000}
+
+// Fig8a reproduces Fig. 8(a): Dropbox handling "1 KB/sec" appends with
+// the bandwidth tuned from 1.6 to 20 Mbps at ≈ 50 ms latency.
+func Fig8a(bandwidths []int64) []NetCell {
+	var out []NetCell
+	for _, bps := range bandwidths {
+		link := netem.Link{UpBps: bps, DownBps: bps, RTT: 50 * time.Millisecond}
+		tue := appendTUE(service.Dropbox, service.Options{Link: link}, 1)
+		out = append(out, NetCell{Bps: bps, RTT: link.RTT, TUE: tue})
+	}
+	return out
+}
+
+// Fig8bLatencies is the paper's controlled latency range.
+var Fig8bLatencies = []time.Duration{
+	40 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+	400 * time.Millisecond, 600 * time.Millisecond, 800 * time.Millisecond, time.Second,
+}
+
+// Fig8b reproduces Fig. 8(b): Dropbox handling "1 KB/sec" appends with
+// the latency tuned from 40 to 1000 ms at 20 Mbps.
+func Fig8b(latencies []time.Duration) []NetCell {
+	var out []NetCell
+	for _, rtt := range latencies {
+		link := netem.Link{UpBps: 20_000_000, DownBps: 20_000_000, RTT: rtt}
+		tue := appendTUE(service.Dropbox, service.Options{Link: link}, 1)
+		out = append(out, NetCell{Bps: link.UpBps, RTT: rtt, TUE: tue})
+	}
+	return out
+}
+
+// HWCell is one Fig. 8(c) measurement.
+type HWCell struct {
+	Machine string
+	X       float64
+	TUE     float64
+}
+
+// Fig8c reproduces Fig. 8(c) / Experiment 7′: Dropbox handling the
+// appending workload on the typical (M1), outdated (M2), and advanced
+// (M3) machines.
+func Fig8c(xs []float64) []HWCell {
+	machines := []hardware.Profile{hardware.M1(), hardware.M2(), hardware.M3()}
+	var out []HWCell
+	for _, hw := range machines {
+		for _, x := range xs {
+			tue := appendTUE(service.Dropbox, service.Options{Hardware: hw}, x)
+			out = append(out, HWCell{Machine: hw.Name, X: x, TUE: tue})
+		}
+	}
+	return out
+}

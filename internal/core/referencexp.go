@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"cloudsync/internal/client"
+
+	"cloudsync/internal/content"
+	"cloudsync/internal/metrics"
+	"cloudsync/internal/service"
+)
+
+// ReferenceCell compares the reference design (every provider
+// recommendation of the paper combined) against the measured services
+// on one workload.
+type ReferenceCell struct {
+	Workload  string
+	Reference float64 // TUE of the reference design
+	Best      float64 // best commercial TUE
+	BestName  string
+	Worst     float64 // worst commercial TUE
+	WorstName string
+}
+
+// referenceWorkload drives one scenario on a fresh setup and reports
+// (traffic, data update size).
+type referenceWorkload struct {
+	name string
+	run  func(s *service.Setup) (int64, int64)
+}
+
+func referenceWorkloads() []referenceWorkload {
+	return []referenceWorkload{
+		{"create 1 MB file", func(s *service.Setup) (int64, int64) {
+			mark := s.Capture.Mark()
+			if err := s.FS.Create("f", content.Random(1<<20, nextSeed())); err != nil {
+				panic(err)
+			}
+			s.Clock.Run()
+			up, down, _ := s.Capture.Since(mark)
+			return up + down, 1 << 20
+		}},
+		{"create 1 MB text file", func(s *service.Setup) (int64, int64) {
+			mark := s.Capture.Mark()
+			if err := s.FS.Create("f", content.Text(1<<20, nextSeed())); err != nil {
+				panic(err)
+			}
+			s.Clock.Run()
+			up, down, _ := s.Capture.Since(mark)
+			return up + down, 1 << 20
+		}},
+		{"100 × 1 KB batch", func(s *service.Setup) (int64, int64) {
+			mark := s.Capture.Mark()
+			for i := 0; i < 100; i++ {
+				if err := s.FS.Create(fmt.Sprintf("b/f%03d", i), content.Random(1<<10, nextSeed())); err != nil {
+					panic(err)
+				}
+			}
+			s.Clock.Run()
+			up, down, _ := s.Capture.Since(mark)
+			return up + down, 100 << 10
+		}},
+		{"modify 1 B of 1 MB", func(s *service.Setup) (int64, int64) {
+			if err := s.FS.Create("f", content.Random(1<<20, nextSeed())); err != nil {
+				panic(err)
+			}
+			s.Clock.Run()
+			mark := s.Capture.Mark()
+			if err := s.FS.ModifyByte("f", 1<<19); err != nil {
+				panic(err)
+			}
+			s.Clock.Run()
+			up, down, _ := s.Capture.Since(mark)
+			// Reference the containing chunk, as the paper's IDS
+			// discussion does: the fairest "should" is one chunk.
+			return up + down, int64(8 << 10)
+		}},
+		{"re-upload duplicate 1 MB", func(s *service.Setup) (int64, int64) {
+			blob := content.Random(1<<20, nextSeed())
+			if err := s.FS.Create("orig", blob); err != nil {
+				panic(err)
+			}
+			s.Clock.Run()
+			mark := s.Capture.Mark()
+			if err := s.FS.Create("copy", content.Random(1<<20, blob.Seed())); err != nil {
+				panic(err)
+			}
+			s.Clock.Run()
+			up, down, _ := s.Capture.Since(mark)
+			return up + down, 1 << 20
+		}},
+		{"append 1 KB/s → 1 MB", func(s *service.Setup) (int64, int64) {
+			return appendWorkload(s, 1, AppendTotal), AppendTotal
+		}},
+		{"append 8 KB/8 s → 1 MB", func(s *service.Setup) (int64, int64) {
+			return appendWorkload(s, 8, AppendTotal), AppendTotal
+		}},
+	}
+}
+
+// ReferenceComparison runs every workload on the reference design and
+// on the six commercial PC clients, reporting the reference TUE
+// against the best and worst commercial results.
+func ReferenceComparison() []ReferenceCell {
+	var out []ReferenceCell
+	for _, w := range referenceWorkloads() {
+		cell := ReferenceCell{Workload: w.name}
+
+		s := service.NewReferenceSetup(service.Options{})
+		traffic, update := w.run(s)
+		cell.Reference = TUE(traffic, update)
+
+		first := true
+		for _, n := range service.All() {
+			s := service.NewSetup(n, client.PC, service.Options{})
+			traffic, update := w.run(s)
+			tue := TUE(traffic, update)
+			if first || tue < cell.Best {
+				cell.Best, cell.BestName = tue, n.String()
+			}
+			if first || tue > cell.Worst {
+				cell.Worst, cell.WorstName = tue, n.String()
+			}
+			first = false
+		}
+		out = append(out, cell)
+	}
+	return out
+}
+
+// RenderReference formats the comparison.
+func RenderReference(cells []ReferenceCell) string {
+	tb := metrics.Table{Header: []string{"Workload", "Reference TUE", "Best service", "Worst service"}}
+	for _, c := range cells {
+		tb.AddRow(c.Workload, fmtTUE(c.Reference),
+			fmt.Sprintf("%s (%s)", fmtTUE(c.Best), c.BestName),
+			fmt.Sprintf("%s (%s)", fmtTUE(c.Worst), c.WorstName))
+	}
+	return "Reference design (all paper recommendations) vs. the six services (PC clients)\n" + tb.String()
+}
+
+// ReferenceASDBound verifies the ASD claim end to end on the reference
+// design: the worst-case appending TUE across the cadence sweep.
+func ReferenceASDBound(xs []float64) float64 {
+	worst := 0.0
+	for _, x := range xs {
+		s := service.NewReferenceSetup(service.Options{})
+		tue := TUE(appendWorkload(s, x, AppendTotal), AppendTotal)
+		if tue > worst {
+			worst = tue
+		}
+	}
+	return worst
+}

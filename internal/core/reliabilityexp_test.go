@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudsync/internal/netem"
+)
+
+func TestReliabilityAblation(t *testing.T) {
+	const fileSize = 64 << 20
+	link := netem.Beijing() // 1.6 Mbps up: a 64 MB upload takes ~6 min
+	mtbfs := []time.Duration{time.Minute, 10 * time.Minute}
+	cells := ReliabilityAblation(fileSize, link, 4<<20, mtbfs)
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byKey := map[string]ReliabilityCell{}
+	for _, c := range cells {
+		byKey[c.Strategy+c.MTBF.String()] = c
+	}
+	restartBad := byKey["restart from zero"+time.Minute.String()]
+	resumeBad := byKey["resumable chunks"+time.Minute.String()]
+	restartOK := byKey["restart from zero"+(10*time.Minute).String()]
+
+	// On a link that fails every minute, a restart upload of a
+	// six-minute file wastes enormously; resumable uploads stay near
+	// TUE 1.
+	if restartBad.Traffic < 3*fileSize {
+		t.Errorf("restart traffic = %d, want ≫ file size", restartBad.Traffic)
+	}
+	if resumeBad.Traffic > fileSize*2 {
+		t.Errorf("resumable traffic = %d, want ≈ file size", resumeBad.Traffic)
+	}
+	if resumeBad.Traffic >= restartBad.Traffic/2 {
+		t.Errorf("resumable (%d) should be far below restart (%d)", resumeBad.Traffic, restartBad.Traffic)
+	}
+	// With rare failures, both approaches approach TUE ≈ 1.
+	if restartOK.Traffic > fileSize*3 {
+		t.Errorf("restart with rare failures = %d, want near file size", restartOK.Traffic)
+	}
+	// Completion must always be reached.
+	for _, c := range cells {
+		if c.Attempts >= 10_000 {
+			t.Errorf("%s @%v never completed", c.Strategy, c.MTBF)
+		}
+	}
+}
+
+func TestReliabilityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args did not panic")
+		}
+	}()
+	ReliabilityAblation(0, netem.Minnesota(), 1, nil)
+}
+
+func TestRenderReliability(t *testing.T) {
+	cells := ReliabilityAblation(8<<20, netem.Minnesota(), 4<<20,
+		[]time.Duration{30 * time.Second})
+	s := RenderReliability(cells, 8<<20)
+	if !strings.Contains(s, "resumable") || !strings.Contains(s, "TUE") {
+		t.Fatalf("render incomplete:\n%s", s)
+	}
+}

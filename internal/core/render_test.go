@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudsync/internal/service"
+	"cloudsync/internal/trace"
+)
+
+// TestRenderersSmoke drives every renderer with reduced inputs: each
+// must produce a titled, multi-line table mentioning at least one
+// service or data label. Catches formatting regressions across the
+// whole artifact surface.
+func TestRenderersSmoke(t *testing.T) {
+	recs := trace.Generate(trace.GenConfig{Seed: 9, Scale: 0.01})
+	small := []int64{1 << 10}
+
+	outputs := map[string]string{
+		"exp2":      RenderExp2(Experiment2(small)),
+		"fig4":      RenderFig4(Experiment3(small)),
+		"table8":    RenderTable8(Experiment4(1 << 20)),
+		"table9":    RenderTable9([]DedupInference{{Service: service.Dropbox, SameUser: "4 MB", CrossUser: "No"}}),
+		"fig5":      RenderFig5(Fig5(recs)),
+		"fig2":      renderFig2From(recs),
+		"findings":  RenderFindings(trace.Analyze(recs)),
+		"midlayer":  RenderMidLayer(MidLayerAblation(256<<10, 5)),
+		"compdedup": RenderCompressDedup(CompressDedupAblation(recs, 4<<20)),
+		"deferments": RenderDeferments(map[service.Name]time.Duration{
+			service.GoogleDrive: 4200 * time.Millisecond,
+		}),
+		"fig8c": RenderFig8c([]HWCell{{Machine: "M1", X: 1, TUE: 10}, {Machine: "M2", X: 1, TUE: 5}}),
+		"replay": RenderReplay([]ReplayResult{{
+			Service: "Dropbox", Files: 10, UpdateBytes: 1 << 20,
+			Traffic: 1 << 21, TUE: 2, FullTraceGB: 1, CostUSD: 0.05,
+		}}),
+	}
+	for name, s := range outputs {
+		if len(s) < 60 {
+			t.Errorf("%s: suspiciously short render:\n%s", name, s)
+		}
+		if !strings.Contains(s, "\n") {
+			t.Errorf("%s: single-line render", name)
+		}
+	}
+}
+
+func renderFig2From(recs []trace.Record) string {
+	points, orig, comp := Fig2(recs)
+	return RenderFig2(points, orig, comp)
+}

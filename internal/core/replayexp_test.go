@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cloudsync/internal/service"
+	"cloudsync/internal/trace"
+)
+
+func TestTraceReplayAll(t *testing.T) {
+	recs := trace.Generate(trace.GenConfig{Seed: 5, Scale: 0.01})
+	results := TraceReplayAll(recs, 100)
+	if len(results) != 7 {
+		t.Fatalf("results = %d, want six services + reference", len(results))
+	}
+	byName := map[string]ReplayResult{}
+	for _, r := range results {
+		if r.Files != len(recs) {
+			t.Errorf("%s replayed %d files, want %d", r.Service, r.Files, len(recs))
+		}
+		if r.TUE <= 0 || r.Traffic <= 0 || r.CostUSD <= 0 {
+			t.Errorf("%s: degenerate result %+v", r.Service, r)
+		}
+		byName[r.Service] = r
+	}
+	ref := byName["Reference"]
+	for _, n := range service.All() {
+		r := byName[n.String()]
+		// Update volume is identical across services (same workload).
+		if r.UpdateBytes != ref.UpdateBytes {
+			t.Errorf("%s update bytes %d != reference %d", r.Service, r.UpdateBytes, ref.UpdateBytes)
+		}
+		// The reference design must beat every commercial service on
+		// the macro workload.
+		if ref.TUE >= r.TUE {
+			t.Errorf("reference TUE %.3f not below %s's %.3f", ref.TUE, r.Service, r.TUE)
+		}
+	}
+	// Compression + dedup + IDS should put the reference meaningfully
+	// below 1 on this mixed corpus.
+	if ref.TUE > 0.95 {
+		t.Errorf("reference replay TUE = %.3f, want < 0.95", ref.TUE)
+	}
+	// Full-file services re-upload whole files on every modification:
+	// several× the update volume. IDS keeps Dropbox near 1.
+	if g := byName["Google Drive"]; g.TUE < 2.5 || g.TUE > 9 {
+		t.Errorf("Google Drive replay TUE = %.3f, want ≈ 3–8 (full-file resync)", g.TUE)
+	}
+	if d := byName["Dropbox"]; d.TUE > 2 {
+		t.Errorf("Dropbox replay TUE = %.3f, want ≈ 1.2 (IDS)", d.TUE)
+	}
+}
+
+func TestRenderReplay(t *testing.T) {
+	recs := trace.Generate(trace.GenConfig{Seed: 6, Scale: 0.002})
+	s := RenderReplay([]ReplayResult{TraceReplay(service.Box, recs, 500)})
+	if !strings.Contains(s, "Box") || !strings.Contains(s, "S3 cost") {
+		t.Fatalf("render incomplete:\n%s", s)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"cloudsync/internal/client"
+	"cloudsync/internal/comp"
+	"cloudsync/internal/content"
+	"cloudsync/internal/service"
+)
+
+// Experiment1 measures the sync traffic of creating a highly
+// compressed (incompressible) file of each size, for every service and
+// access method — the data behind Table 6 and Fig. 3.
+func Experiment1(sizes []int64) []Cell {
+	var out []Cell
+	for _, n := range service.All() {
+		for _, a := range service.AccessMethods() {
+			for _, size := range sizes {
+				blob := content.Random(size, nextSeed())
+				up, down := runOp(n, a, service.Options{}, func(s *service.Setup) {
+					if err := s.FS.Create("file.bin", blob); err != nil {
+						panic(err)
+					}
+				})
+				out = append(out, Cell{
+					Service: n, Access: a, Param: float64(size),
+					Up: up, Down: down, Traffic: up + down,
+					TUE: TUE(up+down, size),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Experiment1PC is the Fig. 3 slice of Experiment 1: PC clients only.
+func Experiment1PC(sizes []int64) []Cell {
+	var out []Cell
+	for _, c := range Experiment1(sizes) {
+		if c.Access == client.PC {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BatchCreationResult is one Table 7 row fragment.
+type BatchCreationResult struct {
+	Service service.Name
+	Access  client.AccessMethod
+	Traffic int64
+	TUE     float64
+	// BDSDetected applies the paper's heuristic: BDS is in use when the
+	// total traffic stays within an order of magnitude of the 100 KB
+	// update size.
+	BDSDetected bool
+}
+
+// Experiment1Batch reproduces Experiment 1′ / Table 7: move 100
+// distinct 1 KB highly compressed files into the sync folder at once
+// and measure the total traffic.
+func Experiment1Batch() []BatchCreationResult {
+	const files = 100
+	const fileSize = 1 << 10
+	var out []BatchCreationResult
+	for _, n := range service.All() {
+		for _, a := range service.AccessMethods() {
+			up, down := runOp(n, a, service.Options{}, func(s *service.Setup) {
+				for i := 0; i < files; i++ {
+					name := fmt.Sprintf("batch/f%03d", i)
+					if err := s.FS.Create(name, content.Random(fileSize, nextSeed())); err != nil {
+						panic(err)
+					}
+				}
+			})
+			traffic := up + down
+			tue := TUE(traffic, files*fileSize)
+			out = append(out, BatchCreationResult{
+				Service: n, Access: a, Traffic: traffic, TUE: tue,
+				BDSDetected: tue <= 10,
+			})
+		}
+	}
+	return out
+}
+
+// Experiment2 measures the sync traffic of deleting a fully
+// synchronized file of each size (§ 4.2: expected negligible, because
+// deletion is a metadata-only "fake deletion").
+func Experiment2(sizes []int64) []Cell {
+	var out []Cell
+	for _, n := range service.All() {
+		for _, a := range service.AccessMethods() {
+			for _, size := range sizes {
+				blob := content.Random(size, nextSeed())
+				s := service.NewSetup(n, a, service.Options{})
+				if err := s.FS.Create("victim.bin", blob); err != nil {
+					panic(err)
+				}
+				s.Clock.Run()
+				mark := s.Capture.Mark()
+				if err := s.FS.Delete("victim.bin"); err != nil {
+					panic(err)
+				}
+				s.Clock.Run()
+				up, down, _ := s.Capture.Since(mark)
+				out = append(out, Cell{
+					Service: n, Access: a, Param: float64(size),
+					Up: up, Down: down, Traffic: up + down,
+					// For deletions the natural reference is the file
+					// size, though the paper reports absolute traffic.
+					TUE: TUE(up+down+1, size),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Experiment3 measures the sync traffic of modifying one random byte
+// of a synchronized compressed file of each size — Fig. 4, the
+// experiment that exposes each service's sync granularity.
+func Experiment3(sizes []int64) []Cell {
+	var out []Cell
+	for _, n := range service.All() {
+		for _, a := range service.AccessMethods() {
+			for _, size := range sizes {
+				if size < 1 {
+					continue
+				}
+				blob := content.Random(size, nextSeed())
+				s := service.NewSetup(n, a, service.Options{})
+				if err := s.FS.Create("target.bin", blob); err != nil {
+					panic(err)
+				}
+				s.Clock.Run()
+				mark := s.Capture.Mark()
+				if err := s.FS.ModifyByte("target.bin", size/2); err != nil {
+					panic(err)
+				}
+				s.Clock.Run()
+				up, down, _ := s.Capture.Since(mark)
+				out = append(out, Cell{
+					Service: n, Access: a, Param: float64(size),
+					Up: up, Down: down, Traffic: up + down,
+					TUE: TUE(up+down, 1), // one byte changed
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CompressionCell is one Table 8 measurement: a 10 MB text file
+// uploaded and then downloaded.
+type CompressionCell struct {
+	Service  service.Name
+	Access   client.AccessMethod
+	UpBytes  int64
+	DnBytes  int64
+	Size     int64
+	Detected bool // upload compression detected (traffic ≪ size)
+}
+
+// Experiment4 reproduces Table 8: create an X-byte text file (random
+// English words), measure upload traffic; then download it and measure
+// download traffic.
+func Experiment4(size int64) []CompressionCell {
+	var out []CompressionCell
+	for _, n := range service.All() {
+		for _, a := range service.AccessMethods() {
+			blob := content.Text(size, nextSeed())
+			s := service.NewSetup(n, a, service.Options{})
+			mark := s.Capture.Mark()
+			if err := s.FS.Create("words.txt", blob); err != nil {
+				panic(err)
+			}
+			s.Clock.Run()
+			upU, upD, _ := s.Capture.Since(mark)
+
+			mark = s.Capture.Mark()
+			if err := s.Client.Download("words.txt", nil); err != nil {
+				panic(err)
+			}
+			s.Clock.Run()
+			dnU, dnD, _ := s.Capture.Since(mark)
+
+			out = append(out, CompressionCell{
+				Service: n, Access: a,
+				UpBytes: upU + upD, DnBytes: dnU + dnD, Size: size,
+				Detected: upU+upD < size*95/100,
+			})
+		}
+	}
+	return out
+}
+
+// TextIdealRatio reports the best-effort compression ratio of the
+// experiment's text corpus (the paper's WinZip reference point: a
+// 10 MB text file shrank to ≈ 4.5 MB).
+func TextIdealRatio(size int64) float64 {
+	blob := content.Text(size, 424242)
+	return float64(comp.IdealSize(blob)) / float64(size)
+}

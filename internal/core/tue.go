@@ -1,0 +1,110 @@
+// Package core is the paper's primary contribution as a library: the
+// TUE (Traffic Usage Efficiency) metric, and the experiment harness
+// that reproduces every table and figure of the evaluation —
+// Experiments 1 through 7′, Algorithm 1, the trace analyses, the ASD
+// evaluation, and the design-choice ablations. Each experiment returns
+// structured results; render.go turns them into the paper's tables.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudsync/internal/client"
+	"cloudsync/internal/content"
+	"cloudsync/internal/service"
+)
+
+// TUE is the paper's Eq. (1): total data sync traffic divided by the
+// data update size. A TUE near 1 means the sync mechanism moved about
+// as many bytes as the user changed; large values are the traffic
+// overuse the paper hunts.
+func TUE(syncTraffic, dataUpdateSize int64) float64 {
+	if dataUpdateSize <= 0 {
+		panic(fmt.Sprintf("core: TUE with data update size %d", dataUpdateSize))
+	}
+	if syncTraffic < 0 {
+		panic(fmt.Sprintf("core: TUE with negative traffic %d", syncTraffic))
+	}
+	return float64(syncTraffic) / float64(dataUpdateSize)
+}
+
+// PaperSizes are Experiment 1/3's file sizes: 1 B to 1 GB in decades.
+var PaperSizes = []int64{1, 1 << 10, 10 << 10, 100 << 10, 1 << 20, 10 << 20, 100 << 20, 1 << 30}
+
+// TableSizes are the four sizes Table 6 prints.
+var TableSizes = []int64{1, 1 << 10, 1 << 20, 10 << 20}
+
+// QuickSizes is a reduced sweep for fast runs.
+var QuickSizes = []int64{1, 1 << 10, 1 << 20}
+
+// Cell is one measurement of a (service, access method, parameter)
+// combination.
+type Cell struct {
+	Service service.Name
+	Access  client.AccessMethod
+	// Param is the experiment's swept parameter (file size in bytes,
+	// append period in seconds, bandwidth, latency — see each
+	// experiment).
+	Param float64
+	// Up, Down and Traffic are wire bytes (Traffic = Up + Down).
+	Up, Down, Traffic int64
+	// TUE is Traffic over the experiment's data update size.
+	TUE float64
+}
+
+// runOp builds a fresh setup, performs op, runs the simulation to
+// quiescence, and reports the traffic it generated.
+func runOp(n service.Name, a client.AccessMethod, opts service.Options, op func(*service.Setup)) (up, down int64) {
+	s := service.NewSetup(n, a, opts)
+	mark := s.Capture.Mark()
+	op(s)
+	s.Clock.Run()
+	u, d, _ := s.Capture.Since(mark)
+	return u, d
+}
+
+// creationSeed gives every synthetic file in an experiment distinct,
+// reproducible content.
+var creationSeed int64 = 10_000
+
+func nextSeed() int64 {
+	creationSeed++
+	return creationSeed
+}
+
+// appendWorkload drives the paper's "X KB / X sec" appending
+// experiment on an existing setup: starting from an empty file, append
+// X KB every X seconds until total bytes accumulate, then drain. It
+// returns the sync traffic the appends caused.
+func appendWorkload(s *service.Setup, x float64, total int64) (traffic int64) {
+	const name = "frequent.doc"
+	if err := s.FS.Create(name, content.Random(0, nextSeed())); err != nil {
+		panic(fmt.Sprintf("core: append workload: %v", err))
+	}
+	s.Clock.Run()
+	mark := s.Capture.Mark()
+	step := int64(x * 1024)
+	if step <= 0 {
+		panic(fmt.Sprintf("core: append workload with X = %v", x))
+	}
+	period := time.Duration(x * float64(time.Second))
+	var scheduled int64
+	base := s.Clock.Now()
+	for i := int64(1); scheduled < total; i++ {
+		n := step
+		if scheduled+n > total {
+			n = total - scheduled
+		}
+		scheduled += n
+		grow := n
+		s.Clock.At(base+time.Duration(i)*period, func() {
+			if err := s.FS.Append(name, grow); err != nil {
+				panic(fmt.Sprintf("core: append: %v", err))
+			}
+		})
+	}
+	s.Clock.Run()
+	up, down, _ := s.Capture.Since(mark)
+	return up + down
+}

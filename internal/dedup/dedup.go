@@ -1,0 +1,170 @@
+// Package dedup implements data-deduplication bookkeeping: the
+// fingerprint index a cloud service consults before accepting an upload
+// (§ 5.2 of the paper), and the ratio counters the trace analysis uses
+// to compare deduplication granularities (Fig. 5).
+//
+// Granularity (full-file vs fixed block) and scope (same-user vs
+// cross-user) are design choices of the service; the index itself just
+// answers "has this scope already stored this fingerprint?".
+package dedup
+
+import (
+	"crypto/md5"
+	"fmt"
+)
+
+// Fingerprint is a content fingerprint (MD5, as in the paper's trace).
+type Fingerprint = [md5.Size]byte
+
+// Granularity is the unit at which fingerprints are computed and
+// compared.
+type Granularity uint8
+
+const (
+	// None disables deduplication (Google Drive, OneDrive, Box,
+	// SugarSync).
+	None Granularity = iota
+	// FullFile deduplicates whole files (Ubuntu One).
+	FullFile
+	// Block deduplicates fixed-size blocks (Dropbox, 4 MB).
+	Block
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case None:
+		return "no"
+	case FullFile:
+		return "full file"
+	case Block:
+		return "block"
+	default:
+		return fmt.Sprintf("granularity(%d)", uint8(g))
+	}
+}
+
+// Stats reports index activity.
+type Stats struct {
+	// Hits counts lookups that found the fingerprint already stored
+	// (upload avoided); Misses counts the rest.
+	Hits, Misses int64
+	// BytesAvoided is the payload volume dedup saved; BytesStored is
+	// the unique volume accepted.
+	BytesAvoided, BytesStored int64
+}
+
+// Index is a fingerprint store. The zero value is not usable; construct
+// with NewIndex.
+type Index struct {
+	crossUser bool
+	entries   map[string]map[Fingerprint]int64
+	stats     Stats
+}
+
+// NewIndex returns an empty index. With crossUser set, fingerprints are
+// shared across all user scopes (one user's upload dedups against
+// another's, as Ubuntu One did); otherwise each user deduplicates only
+// against their own data (Dropbox after it disabled cross-user dedup).
+func NewIndex(crossUser bool) *Index {
+	return &Index{crossUser: crossUser, entries: make(map[string]map[Fingerprint]int64)}
+}
+
+// CrossUser reports the index's scope policy.
+func (ix *Index) CrossUser() bool { return ix.crossUser }
+
+func (ix *Index) scope(user string) string {
+	if ix.crossUser {
+		return ""
+	}
+	return user
+}
+
+// Lookup reports whether the fingerprint is already stored in the
+// user's scope, updating hit/miss statistics.
+func (ix *Index) Lookup(user string, fp Fingerprint, size int64) bool {
+	m := ix.entries[ix.scope(user)]
+	if m == nil {
+		ix.stats.Misses++
+		return false
+	}
+	if _, ok := m[fp]; ok {
+		ix.stats.Hits++
+		ix.stats.BytesAvoided += size
+		return true
+	}
+	ix.stats.Misses++
+	return false
+}
+
+// Add stores a fingerprint in the user's scope. Adding an existing
+// fingerprint is a no-op.
+func (ix *Index) Add(user string, fp Fingerprint, size int64) {
+	scope := ix.scope(user)
+	m := ix.entries[scope]
+	if m == nil {
+		m = make(map[Fingerprint]int64)
+		ix.entries[scope] = m
+	}
+	if _, ok := m[fp]; !ok {
+		m[fp] = size
+		ix.stats.BytesStored += size
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// Unique reports the number of distinct fingerprints stored across all
+// scopes.
+func (ix *Index) Unique() int {
+	n := 0
+	for _, m := range ix.entries {
+		n += len(m)
+	}
+	return n
+}
+
+// RatioCounter measures the deduplication ratio of a data population:
+// size of data before deduplication divided by size after, the metric
+// plotted in Fig. 5. The zero value is ready to use.
+type RatioCounter struct {
+	seen          map[Fingerprint]bool
+	before, after int64
+}
+
+// Add feeds one unit (file or block) with its fingerprint and size.
+func (rc *RatioCounter) Add(fp Fingerprint, size int64) {
+	if rc.seen == nil {
+		rc.seen = make(map[Fingerprint]bool)
+	}
+	rc.before += size
+	if !rc.seen[fp] {
+		rc.seen[fp] = true
+		rc.after += size
+	}
+}
+
+// Before reports the total volume fed in.
+func (rc *RatioCounter) Before() int64 { return rc.before }
+
+// After reports the unique volume.
+func (rc *RatioCounter) After() int64 { return rc.after }
+
+// Ratio reports before/after (≥ 1). An empty counter reports 1.
+func (rc *RatioCounter) Ratio() float64 {
+	if rc.after == 0 {
+		return 1
+	}
+	return float64(rc.before) / float64(rc.after)
+}
+
+// DuplicateFraction reports the share of volume that was duplicate:
+// (before − after) / before. The paper's "full-file level duplication
+// ratio reaches 18.8%" uses this form. An empty counter reports 0.
+func (rc *RatioCounter) DuplicateFraction() float64 {
+	if rc.before == 0 {
+		return 0
+	}
+	return float64(rc.before-rc.after) / float64(rc.before)
+}

@@ -1,0 +1,152 @@
+package dedup
+
+import (
+	"crypto/md5"
+	"testing"
+	"testing/quick"
+)
+
+func fp(s string) Fingerprint { return md5.Sum([]byte(s)) }
+
+func TestGranularityString(t *testing.T) {
+	for g, want := range map[Granularity]string{None: "no", FullFile: "full file", Block: "block"} {
+		if got := g.String(); got != want {
+			t.Errorf("%d = %q, want %q", g, got, want)
+		}
+	}
+	if Granularity(9).String() == "" {
+		t.Error("unknown granularity should render")
+	}
+}
+
+func TestSameUserDedup(t *testing.T) {
+	ix := NewIndex(false)
+	if ix.CrossUser() {
+		t.Fatal("index should be per-user")
+	}
+	if ix.Lookup("alice", fp("a"), 100) {
+		t.Fatal("empty index reported a hit")
+	}
+	ix.Add("alice", fp("a"), 100)
+	if !ix.Lookup("alice", fp("a"), 100) {
+		t.Fatal("same-user re-upload not deduplicated")
+	}
+	// A different user must not hit in per-user scope.
+	if ix.Lookup("bob", fp("a"), 100) {
+		t.Fatal("per-user index deduplicated across users")
+	}
+	s := ix.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BytesAvoided != 100 || s.BytesStored != 100 {
+		t.Fatalf("byte stats = %+v", s)
+	}
+}
+
+func TestCrossUserDedup(t *testing.T) {
+	ix := NewIndex(true)
+	ix.Add("alice", fp("a"), 100)
+	if !ix.Lookup("bob", fp("a"), 100) {
+		t.Fatal("cross-user index did not deduplicate across users")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	ix := NewIndex(false)
+	ix.Add("alice", fp("a"), 100)
+	ix.Add("alice", fp("a"), 100)
+	if ix.Unique() != 1 {
+		t.Fatalf("Unique = %d, want 1", ix.Unique())
+	}
+	if ix.Stats().BytesStored != 100 {
+		t.Fatalf("BytesStored = %d, want 100", ix.Stats().BytesStored)
+	}
+}
+
+func TestUniqueAcrossScopes(t *testing.T) {
+	ix := NewIndex(false)
+	ix.Add("alice", fp("a"), 1)
+	ix.Add("bob", fp("a"), 1)
+	if ix.Unique() != 2 {
+		t.Fatalf("Unique = %d, want 2 (per-user copies)", ix.Unique())
+	}
+}
+
+func TestRatioCounterEmpty(t *testing.T) {
+	var rc RatioCounter
+	if rc.Ratio() != 1 {
+		t.Fatalf("empty Ratio = %v, want 1", rc.Ratio())
+	}
+	if rc.DuplicateFraction() != 0 {
+		t.Fatalf("empty DuplicateFraction = %v", rc.DuplicateFraction())
+	}
+}
+
+func TestRatioCounter(t *testing.T) {
+	var rc RatioCounter
+	rc.Add(fp("x"), 100)
+	rc.Add(fp("x"), 100)
+	rc.Add(fp("y"), 200)
+	if rc.Before() != 400 || rc.After() != 300 {
+		t.Fatalf("before/after = %d/%d", rc.Before(), rc.After())
+	}
+	if got := rc.Ratio(); got < 1.333 || got > 1.334 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := rc.DuplicateFraction(); got != 0.25 {
+		t.Fatalf("DuplicateFraction = %v", got)
+	}
+}
+
+// Property: Ratio ≥ 1 always, and feeding only unique fingerprints
+// keeps it at exactly 1.
+func TestPropertyRatioBounds(t *testing.T) {
+	f := func(sizes []uint16, dupEvery uint8) bool {
+		var rc RatioCounter
+		for i, s := range sizes {
+			key := i
+			if dupEvery > 0 {
+				key = i % int(dupEvery)
+			}
+			rc.Add(fp(string(rune(key))), int64(s)+1)
+		}
+		if rc.Ratio() < 1 {
+			return false
+		}
+		var unique RatioCounter
+		for i, s := range sizes {
+			unique.Add(fp(string(rune(i))), int64(s)+1)
+		}
+		return unique.Ratio() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cross-user index hit-rate ≥ per-user index hit-rate on the
+// same workload.
+func TestPropertyCrossUserDominates(t *testing.T) {
+	f := func(ops []struct {
+		User byte
+		Data byte
+	}) bool {
+		per := NewIndex(false)
+		cross := NewIndex(true)
+		for _, op := range ops {
+			user := string(rune('a' + op.User%4))
+			f := fp(string(rune(op.Data)))
+			if !per.Lookup(user, f, 10) {
+				per.Add(user, f, 10)
+			}
+			if !cross.Lookup(user, f, 10) {
+				cross.Add(user, f, 10)
+			}
+		}
+		return cross.Stats().Hits >= per.Stats().Hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

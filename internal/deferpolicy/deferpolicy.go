@@ -1,0 +1,148 @@
+// Package deferpolicy implements sync-deferment policies — the design
+// choice § 6.1 of the paper studies for batching frequent file
+// modifications:
+//
+//   - None: sync as soon as possible (Dropbox, Box, Ubuntu One).
+//   - Fixed: a fixed deferment T restarted on every update (Google
+//     Drive ≈ 4.2 s, SugarSync ≈ 6 s, OneDrive ≈ 10.5 s); efficient
+//     while updates arrive faster than T, useless once they arrive
+//     slower.
+//   - ASD: the paper's proposed adaptive sync defer, Eq. (2):
+//     T_i = min(T_{i−1}/2 + Δt_i/2 + ε, T_max) — the deferment tracks
+//     the observed inter-update time and stays slightly above it.
+//   - UDS: the byte-counter baseline from the authors' earlier work
+//     [36]: sync once pending bytes exceed a threshold.
+//
+// The client calls Delay on every update; the returned duration
+// (re)arms its defer timer. A zero delay means "sync now".
+package deferpolicy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy decides how long to defer synchronization after an update.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Delay is invoked at each file update with the current virtual
+	// time and the total bytes pending synchronization. The client
+	// (re)arms its defer timer to fire after the returned duration.
+	Delay(now time.Duration, pendingBytes int64) time.Duration
+	// Reset clears adaptive state (called when a sync completes).
+	Reset()
+}
+
+// None syncs immediately.
+type None struct{}
+
+// Name implements Policy.
+func (None) Name() string { return "none" }
+
+// Delay implements Policy: always zero.
+func (None) Delay(time.Duration, int64) time.Duration { return 0 }
+
+// Reset implements Policy.
+func (None) Reset() {}
+
+// Fixed defers by a constant T, restarted on every update (debounce):
+// updates arriving faster than T batch indefinitely; updates slower
+// than T each sync separately.
+type Fixed struct {
+	T time.Duration
+}
+
+// Name implements Policy.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%v)", f.T) }
+
+// Delay implements Policy.
+func (f Fixed) Delay(time.Duration, int64) time.Duration {
+	if f.T < 0 {
+		panic(fmt.Sprintf("deferpolicy: negative fixed deferment %v", f.T))
+	}
+	return f.T
+}
+
+// Reset implements Policy.
+func (Fixed) Reset() {}
+
+// ASD is the adaptive sync defer mechanism (Eq. 2). The zero value is
+// not usable; construct with NewASD.
+type ASD struct {
+	// Epsilon keeps the deferment slightly above the inter-update time;
+	// the paper requires ε ∈ (0, 1) seconds.
+	Epsilon time.Duration
+	// TMax caps the deferment so idle files do not wait unboundedly.
+	TMax time.Duration
+
+	t          time.Duration // T_{i−1}
+	lastUpdate time.Duration
+	seen       bool
+}
+
+// NewASD constructs an adaptive sync defer policy. Epsilon must lie in
+// (0, 1 s]; TMax must be positive.
+func NewASD(epsilon, tmax time.Duration) *ASD {
+	if epsilon <= 0 || epsilon > time.Second {
+		panic(fmt.Sprintf("deferpolicy: ASD epsilon %v outside (0, 1s]", epsilon))
+	}
+	if tmax <= 0 {
+		panic(fmt.Sprintf("deferpolicy: ASD TMax %v must be positive", tmax))
+	}
+	return &ASD{Epsilon: epsilon, TMax: tmax}
+}
+
+// Name implements Policy.
+func (a *ASD) Name() string { return fmt.Sprintf("asd(ε=%v,Tmax=%v)", a.Epsilon, a.TMax) }
+
+// Delay implements Policy with the paper's update rule.
+func (a *ASD) Delay(now time.Duration, _ int64) time.Duration {
+	var dt time.Duration
+	if a.seen {
+		dt = now - a.lastUpdate
+	}
+	a.lastUpdate = now
+	a.seen = true
+	t := a.t/2 + dt/2 + a.Epsilon
+	if t > a.TMax {
+		t = a.TMax
+	}
+	a.t = t
+	return t
+}
+
+// Reset implements Policy as a no-op: both the deferment estimate and
+// the inter-update clock are properties of the update stream, not of
+// individual sync sessions. Eq. (2) explicitly wants a long idle gap to
+// lengthen the deferment (capped at TMax), so nothing is cleared.
+func (a *ASD) Reset() {}
+
+// Current exposes the present deferment estimate T_i (for tests and
+// telemetry).
+func (a *ASD) Current() time.Duration { return a.t }
+
+// UDS is the byte-counter batching baseline: defer while pending bytes
+// are below Threshold, sync immediately once they reach it. MaxDelay
+// bounds how long a small update can linger.
+type UDS struct {
+	Threshold int64
+	MaxDelay  time.Duration
+}
+
+// Name implements Policy.
+func (u UDS) Name() string { return fmt.Sprintf("uds(%dB,%v)", u.Threshold, u.MaxDelay) }
+
+// Delay implements Policy.
+func (u UDS) Delay(_ time.Duration, pendingBytes int64) time.Duration {
+	if u.Threshold <= 0 || u.MaxDelay <= 0 {
+		panic(fmt.Sprintf("deferpolicy: UDS misconfigured: %+v", u))
+	}
+	if pendingBytes >= u.Threshold {
+		return 0
+	}
+	return u.MaxDelay
+}
+
+// Reset implements Policy.
+func (UDS) Reset() {}

@@ -1,0 +1,202 @@
+package deferpolicy
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNone(t *testing.T) {
+	var p None
+	if p.Delay(5*time.Second, 1000) != 0 {
+		t.Fatal("None should never defer")
+	}
+	if p.Name() != "none" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	p.Reset()
+}
+
+func TestFixed(t *testing.T) {
+	p := Fixed{T: 4200 * time.Millisecond}
+	for i := 0; i < 5; i++ {
+		if got := p.Delay(time.Duration(i)*time.Second, int64(i*100)); got != p.T {
+			t.Fatalf("Delay = %v, want %v", got, p.T)
+		}
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+	p.Reset()
+}
+
+func TestFixedNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative fixed deferment did not panic")
+		}
+	}()
+	Fixed{T: -time.Second}.Delay(0, 0)
+}
+
+func TestASDValidation(t *testing.T) {
+	for _, c := range []struct{ eps, tmax time.Duration }{
+		{0, time.Minute},
+		{2 * time.Second, time.Minute},
+		{time.Millisecond, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewASD(%v, %v) did not panic", c.eps, c.tmax)
+				}
+			}()
+			NewASD(c.eps, c.tmax)
+		}()
+	}
+}
+
+func TestASDTracksInterUpdateTime(t *testing.T) {
+	// Updates every 7 s: the deferment should converge to slightly
+	// above 7 s — long enough to batch the next update.
+	a := NewASD(500*time.Millisecond, time.Minute)
+	now := time.Duration(0)
+	var d time.Duration
+	for i := 0; i < 30; i++ {
+		d = a.Delay(now, 1000)
+		now += 7 * time.Second
+	}
+	if d <= 7*time.Second {
+		t.Fatalf("converged deferment %v, want > 7s (slightly above Δt)", d)
+	}
+	if d > 9*time.Second {
+		t.Fatalf("converged deferment %v, want ≈ 7–9s", d)
+	}
+}
+
+func TestASDAdaptsDown(t *testing.T) {
+	a := NewASD(100*time.Millisecond, time.Minute)
+	now := time.Duration(0)
+	// Slow updates first.
+	for i := 0; i < 10; i++ {
+		a.Delay(now, 0)
+		now += 20 * time.Second
+	}
+	slow := a.Current()
+	// Then fast updates.
+	for i := 0; i < 20; i++ {
+		a.Delay(now, 0)
+		now += time.Second
+	}
+	fast := a.Current()
+	if fast >= slow {
+		t.Fatalf("deferment did not adapt down: slow=%v fast=%v", slow, fast)
+	}
+	if fast > 3*time.Second {
+		t.Fatalf("fast-cadence deferment %v, want ≈ 1–2s", fast)
+	}
+}
+
+func TestASDCapsAtTMax(t *testing.T) {
+	a := NewASD(time.Second, 5*time.Second)
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		if d := a.Delay(now, 0); d > 5*time.Second {
+			t.Fatalf("deferment %v exceeds TMax", d)
+		}
+		now += time.Hour // huge gaps
+	}
+	if a.Current() != 5*time.Second {
+		t.Fatalf("Current = %v, want TMax", a.Current())
+	}
+}
+
+func TestASDResetKeepsAdaptation(t *testing.T) {
+	// Reset (called after each sync session) must not discard the
+	// learned cadence: otherwise a steady slow update stream would
+	// never accumulate a deferment above its period.
+	a := NewASD(500*time.Millisecond, time.Minute)
+	now := time.Duration(0)
+	for i := 0; i < 20; i++ {
+		a.Delay(now, 0)
+		a.Reset() // as if a sync completed between updates
+		now += 10 * time.Second
+	}
+	if a.Current() <= 10*time.Second {
+		t.Fatalf("deferment %v did not adapt above the 10s cadence", a.Current())
+	}
+	// And an idle gap is capped at TMax per Eq. (2).
+	a.Delay(now+time.Hour, 0)
+	if a.Current() > time.Minute {
+		t.Fatalf("deferment %v exceeded TMax", a.Current())
+	}
+}
+
+func TestASDName(t *testing.T) {
+	if NewASD(time.Millisecond, time.Minute).Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// Property: ASD deferment never exceeds TMax and is always positive.
+func TestPropertyASDBounds(t *testing.T) {
+	f := func(gapsMs []uint16) bool {
+		a := NewASD(200*time.Millisecond, 30*time.Second)
+		now := time.Duration(0)
+		for _, g := range gapsMs {
+			d := a.Delay(now, 0)
+			if d <= 0 || d > 30*time.Second {
+				return false
+			}
+			now += time.Duration(g) * time.Millisecond
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a constant inter-update gap Δt < TMax−ε, ASD converges
+// to a value in (Δt, Δt + 2ε] — "slightly longer than the latest
+// inter-update time".
+func TestPropertyASDConvergence(t *testing.T) {
+	f := func(gapSecRaw uint8) bool {
+		gap := time.Duration(gapSecRaw%20+1) * time.Second
+		eps := 500 * time.Millisecond
+		a := NewASD(eps, time.Minute)
+		now := time.Duration(0)
+		for i := 0; i < 60; i++ {
+			a.Delay(now, 0)
+			now += gap
+		}
+		got := a.Current()
+		return got > gap && got <= gap+2*eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDS(t *testing.T) {
+	p := UDS{Threshold: 4 << 20, MaxDelay: time.Minute}
+	if d := p.Delay(0, 1<<20); d != time.Minute {
+		t.Fatalf("below threshold: Delay = %v", d)
+	}
+	if d := p.Delay(0, 4<<20); d != 0 {
+		t.Fatalf("at threshold: Delay = %v, want 0", d)
+	}
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+	p.Reset()
+}
+
+func TestUDSMisconfiguredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misconfigured UDS did not panic")
+		}
+	}()
+	UDS{}.Delay(0, 0)
+}

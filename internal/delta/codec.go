@@ -1,0 +1,181 @@
+package delta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format of an encoded delta:
+//
+//	magic "DLT1" (4 bytes)
+//	blockSize  uint32
+//	targetSize uint64
+//	opCount    uint32
+//	ops:
+//	  0x01 <uint32 index>                copy
+//	  0x02 <uint32 length> <bytes>       literal
+//
+// Signatures encode as:
+//
+//	magic "SIG1" (4 bytes)
+//	blockSize uint32
+//	fileSize  uint64
+//	count     uint32
+//	blocks: count × (weak uint32, strong 16 bytes)  — sizes are implied
+//	by position (all full except a final short block derived from
+//	fileSize).
+
+const (
+	deltaMagic = "DLT1"
+	sigMagic   = "SIG1"
+	opCopyTag  = 0x01
+	opLitTag   = 0x02
+)
+
+// Encode serializes the delta for transmission.
+func (d Delta) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(deltaMagic)
+	binary.Write(&buf, binary.LittleEndian, uint32(d.BlockSize))
+	binary.Write(&buf, binary.LittleEndian, uint64(d.TargetSize))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(d.Ops)))
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case OpCopy:
+			buf.WriteByte(opCopyTag)
+			binary.Write(&buf, binary.LittleEndian, uint32(op.Index))
+		case OpLiteral:
+			buf.WriteByte(opLitTag)
+			binary.Write(&buf, binary.LittleEndian, uint32(len(op.Data)))
+			buf.Write(op.Data)
+		default:
+			panic(fmt.Sprintf("delta: encoding unknown op kind %d", op.Kind))
+		}
+	}
+	return buf.Bytes()
+}
+
+// DecodeDelta parses an encoded delta.
+func DecodeDelta(data []byte) (Delta, error) {
+	r := bytes.NewReader(data)
+	var d Delta
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != deltaMagic {
+		return d, fmt.Errorf("delta: bad magic %q", magic)
+	}
+	var bs uint32
+	var ts uint64
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &bs); err != nil {
+		return d, fmt.Errorf("delta: reading block size: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &ts); err != nil {
+		return d, fmt.Errorf("delta: reading target size: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return d, fmt.Errorf("delta: reading op count: %w", err)
+	}
+	if bs == 0 {
+		return d, fmt.Errorf("delta: zero block size")
+	}
+	d.BlockSize = int(bs)
+	d.TargetSize = int64(ts)
+	for i := uint32(0); i < n; i++ {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return d, fmt.Errorf("delta: op %d: %w", i, err)
+		}
+		switch tag {
+		case opCopyTag:
+			var idx uint32
+			if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+				return d, fmt.Errorf("delta: op %d index: %w", i, err)
+			}
+			d.Ops = append(d.Ops, Op{Kind: OpCopy, Index: int(idx)})
+		case opLitTag:
+			var length uint32
+			if err := binary.Read(r, binary.LittleEndian, &length); err != nil {
+				return d, fmt.Errorf("delta: op %d length: %w", i, err)
+			}
+			if int(length) > r.Len() {
+				return d, fmt.Errorf("delta: op %d literal of %d bytes exceeds %d remaining", i, length, r.Len())
+			}
+			lit := make([]byte, length)
+			if _, err := io.ReadFull(r, lit); err != nil {
+				return d, fmt.Errorf("delta: op %d literal: %w", i, err)
+			}
+			d.Ops = append(d.Ops, Op{Kind: OpLiteral, Data: lit})
+		default:
+			return d, fmt.Errorf("delta: op %d has unknown tag %#x", i, tag)
+		}
+	}
+	if r.Len() != 0 {
+		return d, fmt.Errorf("delta: %d trailing bytes", r.Len())
+	}
+	return d, nil
+}
+
+// Encode serializes the signature for transmission.
+func (s Signature) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(sigMagic)
+	binary.Write(&buf, binary.LittleEndian, uint32(s.BlockSize))
+	binary.Write(&buf, binary.LittleEndian, uint64(s.FileSize))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(s.Blocks)))
+	for _, b := range s.Blocks {
+		binary.Write(&buf, binary.LittleEndian, b.Weak)
+		buf.Write(b.Strong[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeSignature parses an encoded signature, reconstructing block
+// indices and sizes from the file size.
+func DecodeSignature(data []byte) (Signature, error) {
+	r := bytes.NewReader(data)
+	var s Signature
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != sigMagic {
+		return s, fmt.Errorf("delta: bad signature magic %q", magic)
+	}
+	var bs uint32
+	var fs uint64
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &bs); err != nil {
+		return s, fmt.Errorf("delta: reading block size: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &fs); err != nil {
+		return s, fmt.Errorf("delta: reading file size: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return s, fmt.Errorf("delta: reading block count: %w", err)
+	}
+	if bs == 0 {
+		return s, fmt.Errorf("delta: zero block size in signature")
+	}
+	s.BlockSize = int(bs)
+	s.FileSize = int64(fs)
+	want := (s.FileSize + int64(bs) - 1) / int64(bs)
+	if int64(n) != want {
+		return s, fmt.Errorf("delta: signature has %d blocks, file size implies %d", n, want)
+	}
+	for i := uint32(0); i < n; i++ {
+		blk := BlockSig{Index: int(i), Size: s.BlockSize}
+		if rem := s.FileSize - int64(i)*int64(bs); rem < int64(blk.Size) {
+			blk.Size = int(rem)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &blk.Weak); err != nil {
+			return s, fmt.Errorf("delta: block %d weak: %w", i, err)
+		}
+		if _, err := io.ReadFull(r, blk.Strong[:]); err != nil {
+			return s, fmt.Errorf("delta: block %d strong: %w", i, err)
+		}
+		s.Blocks = append(s.Blocks, blk)
+	}
+	if r.Len() != 0 {
+		return s, fmt.Errorf("delta: %d trailing bytes after signature", r.Len())
+	}
+	return s, nil
+}

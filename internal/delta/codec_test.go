@@ -1,0 +1,135 @@
+package delta
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cloudsync/internal/content"
+)
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	basis := content.Random(50_000, 1).Bytes()
+	target := append([]byte(nil), basis...)
+	target[100] ^= 0xFF
+	target = append(target, content.Random(777, 2).Bytes()...)
+	d := Compute(Sign(basis, 1024), target)
+
+	enc := d.Encode()
+	got, err := DecodeDelta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatal("delta codec roundtrip mismatch")
+	}
+	// And the decoded delta still applies.
+	out, err := Apply(basis, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, target) {
+		t.Fatal("decoded delta does not reconstruct target")
+	}
+}
+
+func TestDeltaCodecEmpty(t *testing.T) {
+	d := Delta{BlockSize: 512, TargetSize: 0}
+	got, err := DecodeDelta(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockSize != 512 || got.TargetSize != 0 || len(got.Ops) != 0 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestDeltaDecodeErrors(t *testing.T) {
+	valid := Delta{BlockSize: 512, TargetSize: 4, Ops: []Op{
+		{Kind: OpLiteral, Data: []byte("abcd")},
+	}}.Encode()
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		valid[:6],                      // truncated header
+		append(valid, 0xFF),            // trailing byte
+		corrupt(valid, 4, 0, 0, 0, 0),  // zero block size
+		corrupt(valid, 21, 0xFF),       // unknown op tag
+		corrupt(valid, 22, 0xFF, 0xFF), // literal longer than body
+	}
+	for i, c := range cases {
+		if _, err := DecodeDelta(c); err == nil {
+			t.Errorf("case %d: DecodeDelta succeeded on malformed input", i)
+		}
+	}
+}
+
+func corrupt(data []byte, off int, repl ...byte) []byte {
+	out := append([]byte(nil), data...)
+	copy(out[off:], repl)
+	return out
+}
+
+func TestSignatureCodecRoundTrip(t *testing.T) {
+	for _, size := range []int{0, 100, 1024, 10_000} {
+		data := content.Random(int64(size), 3).Bytes()
+		sig := Sign(data, 1024)
+		got, err := DecodeSignature(sig.Encode())
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !reflect.DeepEqual(got, sig) {
+			t.Fatalf("size %d: signature roundtrip mismatch\n got %+v\nwant %+v", size, got, sig)
+		}
+	}
+}
+
+func TestSignatureDecodeErrors(t *testing.T) {
+	valid := Sign(content.Random(3000, 4).Bytes(), 1024).Encode()
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		valid[:10],
+		append(valid, 1, 2, 3),
+		corrupt(valid, 4, 0, 0, 0, 0), // zero block size
+		corrupt(valid, 16, 0xFF),      // block count mismatch with size
+	}
+	for i, c := range cases {
+		if _, err := DecodeSignature(c); err == nil {
+			t.Errorf("case %d: DecodeSignature succeeded on malformed input", i)
+		}
+	}
+}
+
+// Property: encode/decode is the identity on deltas computed from
+// arbitrary random inputs, and decoded deltas always apply cleanly.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(seedA, seedB int64, szA, szB uint16) bool {
+		basis := content.Random(int64(szA), seedA).Bytes()
+		target := content.Random(int64(szB), seedB).Bytes()
+		d := Compute(Sign(basis, 256), target)
+		got, err := DecodeDelta(d.Encode())
+		if err != nil {
+			return false
+		}
+		out, err := Apply(basis, got)
+		return err == nil && bytes.Equal(out, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecodeDelta and DecodeSignature never panic on arbitrary
+// input.
+func TestPropertyDecodeRobust(t *testing.T) {
+	f := func(data []byte) bool {
+		DecodeDelta(data)
+		DecodeSignature(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package delta implements the rsync algorithm — the incremental data
+// sync (IDS) mechanism the paper identifies in Dropbox and SugarSync PC
+// clients (§ 4.3).
+//
+// The receiver (cloud) holds a basis file and publishes a Signature:
+// per-block weak rolling checksums and strong MD5 fingerprints. The
+// sender (client) scans its new file with a rolling window, emitting
+// COPY references for blocks the receiver already has and LITERAL bytes
+// for everything else. Applying the delta to the basis reconstructs the
+// new file exactly. WireSize reports what transmitting the delta costs,
+// which is the quantity TUE cares about.
+package delta
+
+import (
+	"bytes"
+	"crypto/md5"
+	"fmt"
+)
+
+// DefaultBlockSize is the sync granularity used when callers do not
+// choose one. The paper estimates Dropbox's granularity at ≈ 10 KB and
+// notes rsync's recommended defaults of 700 B–16 KB; 8 KB sits in that
+// band.
+const DefaultBlockSize = 8 << 10
+
+// BlockSig is the signature of one basis block.
+type BlockSig struct {
+	// Index is the block's position in the basis (offset = Index ×
+	// BlockSize).
+	Index int
+	// Size is the block length; only the final block may be short.
+	Size int
+	// Weak is the rolling Adler-style checksum.
+	Weak uint32
+	// Strong is the MD5 fingerprint.
+	Strong [md5.Size]byte
+}
+
+// Signature describes a basis file for delta computation.
+type Signature struct {
+	BlockSize int
+	FileSize  int64
+	Blocks    []BlockSig
+}
+
+// Sign computes the signature of basis data with the given block size.
+func Sign(data []byte, blockSize int) Signature {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("delta: invalid block size %d", blockSize))
+	}
+	sig := Signature{BlockSize: blockSize, FileSize: int64(len(data))}
+	for off, idx := 0, 0; off < len(data); off, idx = off+blockSize, idx+1 {
+		end := off + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		blk := data[off:end]
+		sig.Blocks = append(sig.Blocks, BlockSig{
+			Index:  idx,
+			Size:   len(blk),
+			Weak:   weakSum(blk),
+			Strong: md5.Sum(blk),
+		})
+	}
+	return sig
+}
+
+// WireSize reports the cost of transmitting the signature: 4 weak + 16
+// strong bytes per block plus a 12-byte header. In the rsync protocol
+// the receiver sends this to the sender before the delta flows back.
+func (s Signature) WireSize() int {
+	return 12 + len(s.Blocks)*(4+md5.Size)
+}
+
+// weakSum is the Adler-32-style rolling checksum rsync uses: two 16-bit
+// sums packed into 32 bits.
+func weakSum(data []byte) uint32 {
+	var a, b uint32
+	n := uint32(len(data))
+	for i, ch := range data {
+		a += uint32(ch)
+		b += (n - uint32(i)) * uint32(ch)
+	}
+	return (a & 0xffff) | (b << 16)
+}
+
+// roll slides the checksum one byte: out leaves the window, in enters,
+// n is the window length.
+func roll(sum uint32, out, in byte, n int) uint32 {
+	a := sum & 0xffff
+	b := sum >> 16
+	a = (a - uint32(out) + uint32(in)) & 0xffff
+	b = (b - uint32(n)*uint32(out) + a) & 0xffff
+	return a | (b << 16)
+}
+
+// OpKind distinguishes delta operations.
+type OpKind uint8
+
+const (
+	// OpCopy references a block of the basis by index.
+	OpCopy OpKind = iota
+	// OpLiteral carries raw bytes.
+	OpLiteral
+)
+
+// Op is one delta instruction.
+type Op struct {
+	Kind OpKind
+	// Index is the basis block referenced by a copy op.
+	Index int
+	// Data is the payload of a literal op.
+	Data []byte
+}
+
+// Delta is an ordered list of instructions that transforms the basis
+// into the target.
+type Delta struct {
+	BlockSize  int
+	TargetSize int64
+	Ops        []Op
+}
+
+// LiteralBytes reports the total literal payload in the delta.
+func (d Delta) LiteralBytes() int {
+	n := 0
+	for _, op := range d.Ops {
+		if op.Kind == OpLiteral {
+			n += len(op.Data)
+		}
+	}
+	return n
+}
+
+// CopiedBlocks reports how many basis blocks the delta references.
+func (d Delta) CopiedBlocks() int {
+	n := 0
+	for _, op := range d.Ops {
+		if op.Kind == OpCopy {
+			n++
+		}
+	}
+	return n
+}
+
+// WireSize reports the transmission cost of the delta: literal bytes
+// plus a 4-byte header per literal run, plus 8 bytes per run of
+// consecutive copy ops (rsync collapses adjacent block references).
+func (d Delta) WireSize() int {
+	size := 0
+	i := 0
+	for i < len(d.Ops) {
+		op := d.Ops[i]
+		if op.Kind == OpLiteral {
+			size += 4 + len(op.Data)
+			i++
+			continue
+		}
+		// Collapse a run of consecutive copies.
+		j := i
+		for j+1 < len(d.Ops) && d.Ops[j+1].Kind == OpCopy &&
+			d.Ops[j+1].Index == d.Ops[j].Index+1 {
+			j++
+		}
+		size += 8
+		i = j + 1
+	}
+	return size
+}
+
+// Compute builds the delta that turns the signed basis into target. The
+// scan matches weak checksums first and confirms with the strong hash,
+// exactly as rsync does; on hash collision the strong check rejects the
+// block and the byte goes out as a literal.
+func Compute(sig Signature, target []byte) Delta {
+	bs := sig.BlockSize
+	if bs <= 0 {
+		panic(fmt.Sprintf("delta: signature with invalid block size %d", bs))
+	}
+	d := Delta{BlockSize: bs, TargetSize: int64(len(target))}
+
+	// Index full-size blocks by weak sum; keep the trailing partial
+	// block (if any) aside for tail matching.
+	byWeak := make(map[uint32][]BlockSig, len(sig.Blocks))
+	var partial *BlockSig
+	for i := range sig.Blocks {
+		blk := sig.Blocks[i]
+		if blk.Size == bs {
+			byWeak[blk.Weak] = append(byWeak[blk.Weak], blk)
+		} else {
+			partial = &sig.Blocks[i]
+		}
+	}
+
+	emitLiteral := func(data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// Copy: target's backing array belongs to the caller.
+		d.Ops = append(d.Ops, Op{Kind: OpLiteral, Data: append([]byte(nil), data...)})
+	}
+
+	litStart := 0
+	i := 0
+	if len(target) >= bs && len(byWeak) > 0 {
+		w := weakSum(target[:bs])
+		for {
+			matched := -1
+			if cands, ok := byWeak[w]; ok {
+				strong := md5.Sum(target[i : i+bs])
+				for _, c := range cands {
+					if c.Strong == strong {
+						matched = c.Index
+						break
+					}
+				}
+			}
+			if matched >= 0 {
+				emitLiteral(target[litStart:i])
+				d.Ops = append(d.Ops, Op{Kind: OpCopy, Index: matched})
+				i += bs
+				litStart = i
+				if i+bs > len(target) {
+					break
+				}
+				w = weakSum(target[i : i+bs])
+				continue
+			}
+			if i+bs >= len(target) {
+				break
+			}
+			w = roll(w, target[i], target[i+bs], bs)
+			i++
+		}
+	}
+
+	// Tail: the basis's final partial block can match the target's tail.
+	rest := target[litStart:]
+	if partial != nil && len(rest) >= partial.Size && partial.Size > 0 {
+		tail := rest[len(rest)-partial.Size:]
+		if weakSum(tail) == partial.Weak && md5.Sum(tail) == partial.Strong {
+			emitLiteral(rest[:len(rest)-partial.Size])
+			d.Ops = append(d.Ops, Op{Kind: OpCopy, Index: partial.Index})
+			return d
+		}
+	}
+	emitLiteral(rest)
+	return d
+}
+
+// Apply reconstructs the target from the basis and a delta. It verifies
+// block references and the final size, returning an error on any
+// inconsistency.
+func Apply(basis []byte, d Delta) ([]byte, error) {
+	if d.BlockSize <= 0 {
+		return nil, fmt.Errorf("delta: apply with invalid block size %d", d.BlockSize)
+	}
+	out := bytes.NewBuffer(make([]byte, 0, d.TargetSize))
+	for i, op := range d.Ops {
+		switch op.Kind {
+		case OpLiteral:
+			out.Write(op.Data)
+		case OpCopy:
+			off := op.Index * d.BlockSize
+			if op.Index < 0 || off >= len(basis) {
+				return nil, fmt.Errorf("delta: op %d references block %d outside basis (%d bytes)",
+					i, op.Index, len(basis))
+			}
+			end := off + d.BlockSize
+			if end > len(basis) {
+				end = len(basis)
+			}
+			out.Write(basis[off:end])
+		default:
+			return nil, fmt.Errorf("delta: op %d has unknown kind %d", i, op.Kind)
+		}
+	}
+	if int64(out.Len()) != d.TargetSize {
+		return nil, fmt.Errorf("delta: reconstructed %d bytes, want %d", out.Len(), d.TargetSize)
+	}
+	return out.Bytes(), nil
+}

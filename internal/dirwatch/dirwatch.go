@@ -1,0 +1,156 @@
+// Package dirwatch detects changes in a real directory tree by
+// polling, the way early sync clients did: each scan compares every
+// file's (size, mtime) against the previous scan and reports creates,
+// modifies, and deletes. It is the bridge between an actual filesystem
+// and the live sync client of internal/syncnet (see cmd/syncwatch).
+package dirwatch
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Op classifies a change.
+type Op uint8
+
+const (
+	// Create is a new file.
+	Create Op = iota
+	// Modify is a content change (size or mtime moved).
+	Modify
+	// Delete is a removed file.
+	Delete
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case Create:
+		return "create"
+	case Modify:
+		return "modify"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Change is one detected difference.
+type Change struct {
+	// Path is slash-separated and relative to the watched root.
+	Path string
+	Op   Op
+	Size int64
+}
+
+type fileState struct {
+	size    int64
+	modTime time.Time
+}
+
+// Watcher polls one directory tree. Not safe for concurrent use.
+type Watcher struct {
+	root  string
+	state map[string]fileState
+	// Ignore filters paths (relative, slash-separated); return true to
+	// skip. Nil ignores nothing.
+	Ignore func(path string) bool
+}
+
+// New prepares a watcher rooted at dir. The first Scan reports every
+// existing file as a Create.
+func New(dir string) (*Watcher, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dirwatch: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("dirwatch: %s is not a directory", dir)
+	}
+	return &Watcher{root: dir, state: make(map[string]fileState)}, nil
+}
+
+// Root returns the watched directory.
+func (w *Watcher) Root() string { return w.root }
+
+// Scan walks the tree once and returns the changes since the previous
+// scan, sorted by path (deletes last, so a rename shows as create
+// before delete).
+func (w *Watcher) Scan() ([]Change, error) {
+	seen := make(map[string]fileState)
+	err := filepath.WalkDir(w.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A file vanishing mid-walk is an ordinary race; skip it.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(w.root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if w.Ignore != nil && w.Ignore(rel) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		seen[rel] = fileState{size: info.Size(), modTime: info.ModTime()}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dirwatch: scanning %s: %w", w.root, err)
+	}
+
+	var changes []Change
+	for path, st := range seen {
+		prev, ok := w.state[path]
+		switch {
+		case !ok:
+			changes = append(changes, Change{Path: path, Op: Create, Size: st.size})
+		case prev.size != st.size || !prev.modTime.Equal(st.modTime):
+			changes = append(changes, Change{Path: path, Op: Modify, Size: st.size})
+		}
+	}
+	for path := range w.state {
+		if _, ok := seen[path]; !ok {
+			changes = append(changes, Change{Path: path, Op: Delete})
+		}
+	}
+	w.state = seen
+
+	sort.Slice(changes, func(i, j int) bool {
+		if (changes[i].Op == Delete) != (changes[j].Op == Delete) {
+			return changes[j].Op == Delete
+		}
+		return changes[i].Path < changes[j].Path
+	})
+	return changes, nil
+}
+
+// Read returns a watched file's content by relative path.
+func (w *Watcher) Read(rel string) ([]byte, error) {
+	if strings.Contains(rel, "..") {
+		return nil, fmt.Errorf("dirwatch: refusing path %q", rel)
+	}
+	data, err := os.ReadFile(filepath.Join(w.root, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, fmt.Errorf("dirwatch: %w", err)
+	}
+	return data, nil
+}

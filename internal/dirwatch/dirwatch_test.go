@@ -1,0 +1,158 @@
+package dirwatch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scan(t *testing.T, w *Watcher) []Change {
+	t.Helper()
+	changes, err := w.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return changes
+}
+
+func TestInitialScanReportsCreates(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.txt", "aaa")
+	write(t, dir, "sub/b.txt", "bbbb")
+	w, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := scan(t, w)
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	if changes[0].Path != "a.txt" || changes[0].Op != Create || changes[0].Size != 3 {
+		t.Fatalf("first = %+v", changes[0])
+	}
+	if changes[1].Path != "sub/b.txt" || changes[1].Size != 4 {
+		t.Fatalf("second = %+v", changes[1])
+	}
+	// Idempotent: nothing changed since.
+	if again := scan(t, w); len(again) != 0 {
+		t.Fatalf("second scan = %+v", again)
+	}
+}
+
+func TestModifyDetected(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "f", "one")
+	w, _ := New(dir)
+	scan(t, w)
+	// Different size is detected regardless of mtime granularity.
+	write(t, dir, "f", "longer content")
+	changes := scan(t, w)
+	if len(changes) != 1 || changes[0].Op != Modify || changes[0].Size != 14 {
+		t.Fatalf("changes = %+v", changes)
+	}
+}
+
+func TestModifySameSizeDetectedByMtime(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "f", "abc")
+	w, _ := New(dir)
+	scan(t, w)
+	// Same size, bumped mtime.
+	future := time.Now().Add(2 * time.Second)
+	write(t, dir, "f", "xyz")
+	if err := os.Chtimes(filepath.Join(dir, "f"), future, future); err != nil {
+		t.Fatal(err)
+	}
+	changes := scan(t, w)
+	if len(changes) != 1 || changes[0].Op != Modify {
+		t.Fatalf("changes = %+v", changes)
+	}
+}
+
+func TestDeleteDetected(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "f", "abc")
+	w, _ := New(dir)
+	scan(t, w)
+	os.Remove(filepath.Join(dir, "f"))
+	changes := scan(t, w)
+	if len(changes) != 1 || changes[0].Op != Delete || changes[0].Path != "f" {
+		t.Fatalf("changes = %+v", changes)
+	}
+}
+
+func TestDeletesSortLast(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "old", "abc")
+	w, _ := New(dir)
+	scan(t, w)
+	os.Remove(filepath.Join(dir, "old"))
+	write(t, dir, "new", "abc")
+	changes := scan(t, w)
+	if len(changes) != 2 || changes[0].Op != Create || changes[1].Op != Delete {
+		t.Fatalf("changes = %+v", changes)
+	}
+}
+
+func TestIgnoreFilter(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "keep.txt", "x")
+	write(t, dir, "skip.tmp", "x")
+	w, _ := New(dir)
+	w.Ignore = func(path string) bool { return strings.HasSuffix(path, ".tmp") }
+	changes := scan(t, w)
+	if len(changes) != 1 || changes[0].Path != "keep.txt" {
+		t.Fatalf("changes = %+v", changes)
+	}
+}
+
+func TestRead(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "sub/f", "content")
+	w, _ := New(dir)
+	data, err := w.Read("sub/f")
+	if err != nil || string(data) != "content" {
+		t.Fatalf("Read = %q, %v", data, err)
+	}
+	if _, err := w.Read("../escape"); err == nil {
+		t.Fatal("path traversal not rejected")
+	}
+	if _, err := w.Read("missing"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("/nonexistent/dir/xyz"); err == nil {
+		t.Fatal("missing root should error")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	os.WriteFile(f, []byte("x"), 0o644)
+	if _, err := New(f); err == nil {
+		t.Fatal("non-directory root should error")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{Create: "create", Modify: "modify", Delete: "delete"} {
+		if op.String() != want {
+			t.Fatalf("%d = %q", op, op.String())
+		}
+	}
+	if Op(9).String() == "" {
+		t.Fatal("unknown op should render")
+	}
+}

@@ -1,0 +1,114 @@
+// Package hardware models the client machines of the paper's testbed
+// (Table 4). The property that matters for TUE is § 6.2's Condition 2:
+// before a modification can be synchronized, the client must finish
+// computing the modified file's metadata (hashing, chunk signatures,
+// index bookkeeping). On slow hardware that computation takes long
+// enough that subsequent modifications batch naturally, which is why
+// the paper finds that "slower hardware incurs less sync traffic".
+package hardware
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile describes one client machine.
+type Profile struct {
+	// Name is the paper's machine label (M1, B2, …).
+	Name string
+	// CPU, MemoryGB and Disk reproduce the Table 4 description.
+	CPU      string
+	MemoryGB int
+	Disk     string
+
+	// HashMBps is the sustained fingerprinting throughput (rolling
+	// checksums + strong hashes over the modified file).
+	HashMBps float64
+	// DiskMBps is the sequential read throughput feeding the hasher.
+	DiskMBps float64
+	// PerSyncOverhead is the fixed client-side cost per sync event:
+	// watcher wake-up, index database update, request assembly.
+	PerSyncOverhead time.Duration
+}
+
+// MetadataTime reports how long the machine needs to compute the
+// metadata of a file of the given size — Condition 2's duration. The
+// effective throughput is the slower of hashing and disk.
+func (p Profile) MetadataTime(bytes int64) time.Duration {
+	if p.HashMBps <= 0 || p.DiskMBps <= 0 {
+		panic(fmt.Sprintf("hardware: profile %q has non-positive throughput", p.Name))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("hardware: negative size %d", bytes))
+	}
+	mbps := p.HashMBps
+	if p.DiskMBps < mbps {
+		mbps = p.DiskMBps
+	}
+	sec := float64(bytes) / (mbps * 1e6)
+	return p.PerSyncOverhead + time.Duration(sec*float64(time.Second))
+}
+
+// String renders the Table 4 row.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s (%s, %d GB, %s)", p.Name, p.CPU, p.MemoryGB, p.Disk)
+}
+
+// The Table 4 machines. Bn machines have the same hardware as their Mn
+// counterparts; they differ only in network location, which internal/netem
+// models.
+
+// M1 is the typical client machine: quad-core i5, 7200 RPM disk.
+func M1() Profile {
+	return Profile{
+		Name: "M1", CPU: "Quad-core Intel i5 @ 1.70 GHz", MemoryGB: 4,
+		Disk:     "7200 RPM, 500 GB",
+		HashMBps: 140, DiskMBps: 110, PerSyncOverhead: 120 * time.Millisecond,
+	}
+}
+
+// M2 is the outdated machine: Atom CPU, 5400 RPM disk. Its large
+// per-sync overhead and slow hashing are what make Fig. 8(c)'s M2 curve
+// sit below M1's.
+func M2() Profile {
+	return Profile{
+		Name: "M2", CPU: "Intel Atom @ 1.00 GHz", MemoryGB: 1,
+		Disk:     "5400 RPM, 320 GB",
+		HashMBps: 28, DiskMBps: 55, PerSyncOverhead: 1100 * time.Millisecond,
+	}
+}
+
+// M3 is the advanced machine: quad-core i7 with SSD.
+func M3() Profile {
+	return Profile{
+		Name: "M3", CPU: "Quad-core Intel i7 @ 1.90 GHz", MemoryGB: 4,
+		Disk:     "SSD, 250 GB",
+		HashMBps: 260, DiskMBps: 450, PerSyncOverhead: 45 * time.Millisecond,
+	}
+}
+
+// M4 is the Android smartphone.
+func M4() Profile {
+	return Profile{
+		Name: "M4", CPU: "Dual-core ARM @ 1.50 GHz", MemoryGB: 1,
+		Disk:     "MicroSD, 16 GB",
+		HashMBps: 18, DiskMBps: 25, PerSyncOverhead: 500 * time.Millisecond,
+	}
+}
+
+// B1 mirrors M1 in Beijing.
+func B1() Profile { p := M1(); p.Name = "B1"; return p }
+
+// B2 mirrors M2 in Beijing (5400 RPM, 250 GB per Table 4).
+func B2() Profile { p := M2(); p.Name = "B2"; p.Disk = "5400 RPM, 250 GB"; return p }
+
+// B3 mirrors M3 in Beijing.
+func B3() Profile { p := M3(); p.Name = "B3"; return p }
+
+// B4 mirrors M4 in Beijing (1.53 GHz per Table 4).
+func B4() Profile { p := M4(); p.Name = "B4"; p.CPU = "Dual-core ARM @ 1.53 GHz"; return p }
+
+// All returns every Table 4 machine.
+func All() []Profile {
+	return []Profile{M1(), M2(), M3(), M4(), B1(), B2(), B3(), B4()}
+}

@@ -1,0 +1,103 @@
+package hardware
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetadataTimeScalesWithSize(t *testing.T) {
+	p := M1()
+	small := p.MetadataTime(1 << 10)
+	big := p.MetadataTime(100 << 20)
+	if big <= small {
+		t.Fatalf("100MB (%v) should take longer than 1KB (%v)", big, small)
+	}
+	// 100 MB at ~110 MB/s effective ≈ 0.9 s plus overhead.
+	if big < 800*time.Millisecond || big > 2*time.Second {
+		t.Fatalf("MetadataTime(100MB) = %v, want ≈ 1s", big)
+	}
+}
+
+func TestMetadataTimeIncludesFixedOverhead(t *testing.T) {
+	p := M1()
+	if got := p.MetadataTime(0); got != p.PerSyncOverhead {
+		t.Fatalf("MetadataTime(0) = %v, want %v", got, p.PerSyncOverhead)
+	}
+}
+
+func TestHardwareOrdering(t *testing.T) {
+	// Condition 2 must order the machines the way Fig. 8(c) does: the
+	// outdated M2 takes longest, the SSD M3 shortest.
+	const size = 1 << 20
+	m1, m2, m3 := M1().MetadataTime(size), M2().MetadataTime(size), M3().MetadataTime(size)
+	if !(m3 < m1 && m1 < m2) {
+		t.Fatalf("ordering wrong: M3=%v M1=%v M2=%v", m3, m1, m2)
+	}
+	// M2 should be several times slower than M1 for the batching effect
+	// to show.
+	if m2 < 3*m1 {
+		t.Fatalf("M2 (%v) should be ≫ M1 (%v)", m2, m1)
+	}
+}
+
+func TestEffectiveThroughputIsMin(t *testing.T) {
+	p := Profile{Name: "x", HashMBps: 100, DiskMBps: 10, PerSyncOverhead: 0}
+	// 10 MB at min(100,10)=10 MB/s = 1 s.
+	if got := p.MetadataTime(10 << 20); got < 900*time.Millisecond || got > 1200*time.Millisecond {
+		t.Fatalf("MetadataTime = %v, want ≈ 1s (disk-bound)", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := Profile{Name: "bad"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-throughput profile did not panic")
+		}
+	}()
+	bad.MetadataTime(1)
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	M1().MetadataTime(-1)
+}
+
+func TestAllMachinesMatchTable4(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("All() = %d machines, want 8", len(all))
+	}
+	names := map[string]bool{}
+	for _, p := range all {
+		if names[p.Name] {
+			t.Fatalf("duplicate machine %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.CPU == "" || p.Disk == "" || p.MemoryGB == 0 {
+			t.Fatalf("machine %q missing Table 4 fields: %+v", p.Name, p)
+		}
+	}
+	for _, want := range []string{"M1", "M2", "M3", "M4", "B1", "B2", "B3", "B4"} {
+		if !names[want] {
+			t.Fatalf("missing machine %q", want)
+		}
+	}
+}
+
+func TestBnMirrorsMn(t *testing.T) {
+	if B1().HashMBps != M1().HashMBps || B3().PerSyncOverhead != M3().PerSyncOverhead {
+		t.Fatal("Bn machines should share Mn hardware parameters")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := M2().String(); !strings.Contains(s, "Atom") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for Chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// ChartOptions controls Chart rendering.
+type ChartOptions struct {
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 60×16).
+	Width, Height int
+	// LogY plots a log₁₀ Y axis — the natural scale for TUE curves that
+	// span 1 to hundreds.
+	LogY bool
+	// YLabel annotates the axis.
+	YLabel string
+	// XLabel annotates the axis.
+	XLabel string
+}
+
+// seriesMarks are the glyphs assigned to series in order.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series as an ASCII line chart. Series share both
+// axes; each uses its own glyph, listed in the legend. Empty input
+// yields an empty string.
+func Chart(title string, series []Series, opts ChartOptions) string {
+	if len(series) == 0 {
+		return ""
+	}
+	if opts.Width <= 0 {
+		opts.Width = 60
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	yval := func(v float64) float64 {
+		if opts.LogY {
+			if v < 1e-9 {
+				v = 1e-9
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			v := yval(s.Y[i])
+			ymin, ymax = math.Min(ymin, v), math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return ""
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(opts.Width-1)))
+		return clampInt(c, 0, opts.Width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((yval(y) - ymin) / (ymax - ymin) * float64(opts.Height-1)))
+		return clampInt(opts.Height-1-r, 0, opts.Height-1)
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			grid[row(s.Y[i])][col(s.X[i])] = mark
+		}
+	}
+
+	unlog := func(v float64) float64 {
+		if opts.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	axisWidth := 9
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = axisNumber(unlog(ymax))
+		case opts.Height / 2:
+			label = axisNumber(unlog((ymin + ymax) / 2))
+		case opts.Height - 1:
+			label = axisNumber(unlog(ymin))
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", axisWidth, label, string(line))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", axisWidth, "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", axisWidth, "",
+		opts.Width-len(axisNumber(xmax)), axisNumber(xmin), axisNumber(xmax))
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s", axisWidth, "", opts.XLabel, orDash(opts.YLabel))
+		if opts.LogY {
+			b.WriteString(" (log scale)")
+		}
+		b.WriteByte('\n')
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", axisWidth, "", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func axisNumber(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

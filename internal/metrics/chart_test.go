@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartEmpty(t *testing.T) {
+	if Chart("t", nil, ChartOptions{}) != "" {
+		t.Fatal("empty series should render nothing")
+	}
+	if Chart("t", []Series{{Name: "a"}}, ChartOptions{}) != "" {
+		t.Fatal("series with no points should render nothing")
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	s := Chart("TUE vs X", []Series{
+		{Name: "Box", X: []float64{1, 2, 3, 4}, Y: []float64{100, 80, 60, 40}},
+		{Name: "Dropbox", X: []float64{1, 2, 3, 4}, Y: []float64{50, 30, 20, 10}},
+	}, ChartOptions{Width: 40, Height: 10, XLabel: "X (s)", YLabel: "TUE"})
+
+	for _, want := range []string{"TUE vs X", "* Box", "o Dropbox", "x: X (s)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("chart missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + 10 rows + axis + labels + legend lines.
+	if len(lines) < 14 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), s)
+	}
+	// Highest value appears in the top row of the plot area, lowest in
+	// the bottom row.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max point not in top row:\n%s", s)
+	}
+	if !strings.Contains(lines[10], "o") {
+		t.Fatalf("min point not in bottom row:\n%s", s)
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	s := Chart("", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 10, 100}},
+	}, ChartOptions{Width: 30, Height: 9, LogY: true, YLabel: "TUE", XLabel: "X"})
+	if !strings.Contains(s, "log scale") {
+		t.Fatalf("log axis not labeled:\n%s", s)
+	}
+	// On a log axis, 10 sits exactly mid-way between 1 and 100: the
+	// middle axis label should read 10.
+	if !strings.Contains(s, "10.0") && !strings.Contains(s, "10.00") {
+		t.Fatalf("log midpoint label missing:\n%s", s)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	s := Chart("flat", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{5, 5}},
+	}, ChartOptions{Width: 20, Height: 5})
+	if s == "" || !strings.Contains(s, "*") {
+		t.Fatalf("constant series should still render:\n%s", s)
+	}
+}
+
+func TestChartMismatchedLengths(t *testing.T) {
+	// Extra X values beyond Y are ignored, no panic.
+	s := Chart("", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1}},
+	}, ChartOptions{Width: 10, Height: 4})
+	if s == "" {
+		t.Fatal("should render the one valid point")
+	}
+}

@@ -1,0 +1,473 @@
+// Package protocol defines the sync-protocol messages a cloud storage
+// client and server exchange, with a compact binary encoding.
+//
+// The simulator mostly needs message *sizes* — they are the application
+// payload the wire model frames — but the codec is real: every message
+// round-trips through Encode/Decode, so the protocol could serve an
+// actual client/server implementation over net.Conn. Message layout is
+// a type byte, a uint32 body length, and a fixed-order body using
+// little-endian integers and length-prefixed strings.
+package protocol
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a message.
+type MsgType uint8
+
+const (
+	// TypeHello opens a session: client identity and capabilities.
+	TypeHello MsgType = iota + 1
+	// TypeIndexUpdate announces a file version: metadata plus content
+	// fingerprints (the "data index" of Fig. 1).
+	TypeIndexUpdate
+	// TypeIndexReply tells the client what the cloud still needs:
+	// nothing (dedup hit), specific blocks, or the full content.
+	TypeIndexReply
+	// TypeData carries file content bytes (possibly compressed).
+	TypeData
+	// TypeCommit asks the cloud to finalize a version.
+	TypeCommit
+	// TypeAck confirms a commit or delete.
+	TypeAck
+	// TypeNotify is a server push informing other devices of a change.
+	TypeNotify
+	// TypeDelete requests a (fake) deletion.
+	TypeDelete
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeIndexUpdate:
+		return "index-update"
+	case TypeIndexReply:
+		return "index-reply"
+	case TypeData:
+		return "data"
+	case TypeCommit:
+		return "commit"
+	case TypeAck:
+		return "ack"
+	case TypeNotify:
+		return "notify"
+	case TypeDelete:
+		return "delete"
+	case TypeGet:
+		return "get"
+	case TypeFileInfo:
+		return "file-info"
+	case TypeSigRequest:
+		return "sig-request"
+	case TypeSignature:
+		return "signature"
+	case TypeDelta:
+		return "delta"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	Type() MsgType
+	// encodeBody appends the body encoding.
+	encodeBody(*bytes.Buffer)
+	// decodeBody parses the body encoding.
+	decodeBody(*bytes.Reader) error
+}
+
+// Fingerprint matches dedup.Fingerprint (MD5).
+type Fingerprint = [md5.Size]byte
+
+// Hello opens a session.
+type Hello struct {
+	User    string
+	Device  string
+	Version string
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return TypeHello }
+
+// IndexUpdate announces one file version.
+type IndexUpdate struct {
+	FileID   uint64
+	Name     string
+	Size     int64
+	FileHash Fingerprint
+	// BlockSize is the dedup block granularity of BlockHashes (0 when
+	// only the full-file hash is sent).
+	BlockSize   uint32
+	BlockHashes []Fingerprint
+}
+
+// Type implements Message.
+func (*IndexUpdate) Type() MsgType { return TypeIndexUpdate }
+
+// IndexReply answers an IndexUpdate.
+type IndexReply struct {
+	FileID uint64
+	// DedupHit means the cloud already has the full content; no data
+	// transfer needed.
+	DedupHit bool
+	// NeedBlocks lists block indices the cloud is missing (block-level
+	// dedup); empty with DedupHit false means send everything.
+	NeedBlocks []uint32
+}
+
+// Type implements Message.
+func (*IndexReply) Type() MsgType { return TypeIndexReply }
+
+// Data carries content bytes.
+type Data struct {
+	FileID  uint64
+	Offset  int64
+	Payload []byte
+}
+
+// Type implements Message.
+func (*Data) Type() MsgType { return TypeData }
+
+// Commit finalizes a version.
+type Commit struct {
+	FileID  uint64
+	Version uint64
+}
+
+// Type implements Message.
+func (*Commit) Type() MsgType { return TypeCommit }
+
+// Ack confirms an operation.
+type Ack struct {
+	FileID  uint64
+	Version uint64
+	OK      bool
+}
+
+// Type implements Message.
+func (*Ack) Type() MsgType { return TypeAck }
+
+// Notify informs a device that a file changed elsewhere.
+type Notify struct {
+	FileID  uint64
+	Version uint64
+	Name    string
+}
+
+// Type implements Message.
+func (*Notify) Type() MsgType { return TypeNotify }
+
+// Delete requests a fake deletion.
+type Delete struct {
+	FileID uint64
+}
+
+// Type implements Message.
+func (*Delete) Type() MsgType { return TypeDelete }
+
+// Encode serializes a message: type byte, uint32 body length, body.
+func Encode(m Message) []byte {
+	var body bytes.Buffer
+	m.encodeBody(&body)
+	out := make([]byte, 0, 5+body.Len())
+	out = append(out, byte(m.Type()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(body.Len()))
+	return append(out, body.Bytes()...)
+}
+
+// EncodedSize reports len(Encode(m)) without allocating the encoding's
+// final copy — the hot path for the simulator's traffic accounting.
+func EncodedSize(m Message) int {
+	var body bytes.Buffer
+	m.encodeBody(&body)
+	return 5 + body.Len()
+}
+
+// Decode parses one encoded message.
+func Decode(data []byte) (Message, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("protocol: short message (%d bytes)", len(data))
+	}
+	t := MsgType(data[0])
+	n := binary.LittleEndian.Uint32(data[1:5])
+	if int(n) != len(data)-5 {
+		return nil, fmt.Errorf("protocol: body length %d does not match %d remaining bytes", n, len(data)-5)
+	}
+	var m Message
+	switch t {
+	case TypeHello:
+		m = &Hello{}
+	case TypeIndexUpdate:
+		m = &IndexUpdate{}
+	case TypeIndexReply:
+		m = &IndexReply{}
+	case TypeData:
+		m = &Data{}
+	case TypeCommit:
+		m = &Commit{}
+	case TypeAck:
+		m = &Ack{}
+	case TypeNotify:
+		m = &Notify{}
+	case TypeDelete:
+		m = &Delete{}
+	case TypeGet:
+		m = &Get{}
+	case TypeFileInfo:
+		m = &FileInfo{}
+	case TypeSigRequest:
+		m = &SigRequest{}
+	case TypeSignature:
+		m = &SignatureMsg{}
+	case TypeDelta:
+		m = &DeltaMsg{}
+	case TypeError:
+		m = &Error{}
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type %d", t)
+	}
+	r := bytes.NewReader(data[5:])
+	if err := m.decodeBody(r); err != nil {
+		return nil, fmt.Errorf("protocol: decoding %v: %w", t, err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after %v", r.Len(), t)
+	}
+	return m, nil
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	buf := make([]byte, 5+int(n))
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[5:]); err != nil {
+		return nil, fmt.Errorf("protocol: reading body: %w", err)
+	}
+	return Decode(buf)
+}
+
+// --- body encodings ---
+
+func putString(b *bytes.Buffer, s string) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
+	b.Write(tmp[:])
+	b.WriteString(s)
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if int(n) > r.Len() {
+		return "", fmt.Errorf("string length %d exceeds %d remaining", n, r.Len())
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (m *Hello) encodeBody(b *bytes.Buffer) {
+	putString(b, m.User)
+	putString(b, m.Device)
+	putString(b, m.Version)
+}
+
+func (m *Hello) decodeBody(r *bytes.Reader) (err error) {
+	if m.User, err = getString(r); err != nil {
+		return err
+	}
+	if m.Device, err = getString(r); err != nil {
+		return err
+	}
+	m.Version, err = getString(r)
+	return err
+}
+
+func (m *IndexUpdate) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+	putString(b, m.Name)
+	binary.Write(b, binary.LittleEndian, m.Size)
+	b.Write(m.FileHash[:])
+	binary.Write(b, binary.LittleEndian, m.BlockSize)
+	binary.Write(b, binary.LittleEndian, uint32(len(m.BlockHashes)))
+	for _, h := range m.BlockHashes {
+		b.Write(h[:])
+	}
+}
+
+func (m *IndexUpdate) decodeBody(r *bytes.Reader) (err error) {
+	if err = binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+		return err
+	}
+	if m.Name, err = getString(r); err != nil {
+		return err
+	}
+	if err = binary.Read(r, binary.LittleEndian, &m.Size); err != nil {
+		return err
+	}
+	if _, err = io.ReadFull(r, m.FileHash[:]); err != nil {
+		return err
+	}
+	if err = binary.Read(r, binary.LittleEndian, &m.BlockSize); err != nil {
+		return err
+	}
+	var n uint32
+	if err = binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n)*md5.Size > r.Len() {
+		return fmt.Errorf("block hash count %d exceeds body", n)
+	}
+	m.BlockHashes = make([]Fingerprint, n)
+	for i := range m.BlockHashes {
+		if _, err = io.ReadFull(r, m.BlockHashes[i][:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *IndexReply) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+	if m.DedupHit {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	binary.Write(b, binary.LittleEndian, uint32(len(m.NeedBlocks)))
+	for _, idx := range m.NeedBlocks {
+		binary.Write(b, binary.LittleEndian, idx)
+	}
+}
+
+func (m *IndexReply) decodeBody(r *bytes.Reader) error {
+	if err := binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+		return err
+	}
+	flag, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	m.DedupHit = flag == 1
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n)*4 > r.Len() {
+		return fmt.Errorf("need-block count %d exceeds body", n)
+	}
+	m.NeedBlocks = make([]uint32, n)
+	for i := range m.NeedBlocks {
+		if err := binary.Read(r, binary.LittleEndian, &m.NeedBlocks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Data) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+	binary.Write(b, binary.LittleEndian, m.Offset)
+	binary.Write(b, binary.LittleEndian, uint32(len(m.Payload)))
+	b.Write(m.Payload)
+}
+
+func (m *Data) decodeBody(r *bytes.Reader) error {
+	if err := binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &m.Offset); err != nil {
+		return err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) > r.Len() {
+		return fmt.Errorf("payload length %d exceeds body", n)
+	}
+	m.Payload = make([]byte, n)
+	_, err := io.ReadFull(r, m.Payload)
+	return err
+}
+
+func (m *Commit) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+	binary.Write(b, binary.LittleEndian, m.Version)
+}
+
+func (m *Commit) decodeBody(r *bytes.Reader) error {
+	if err := binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+		return err
+	}
+	return binary.Read(r, binary.LittleEndian, &m.Version)
+}
+
+func (m *Ack) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+	binary.Write(b, binary.LittleEndian, m.Version)
+	if m.OK {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+}
+
+func (m *Ack) decodeBody(r *bytes.Reader) error {
+	if err := binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &m.Version); err != nil {
+		return err
+	}
+	flag, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	m.OK = flag == 1
+	return nil
+}
+
+func (m *Notify) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+	binary.Write(b, binary.LittleEndian, m.Version)
+	putString(b, m.Name)
+}
+
+func (m *Notify) decodeBody(r *bytes.Reader) (err error) {
+	if err = binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+		return err
+	}
+	if err = binary.Read(r, binary.LittleEndian, &m.Version); err != nil {
+		return err
+	}
+	m.Name, err = getString(r)
+	return err
+}
+
+func (m *Delete) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+}
+
+func (m *Delete) decodeBody(r *bytes.Reader) error {
+	return binary.Read(r, binary.LittleEndian, &m.FileID)
+}

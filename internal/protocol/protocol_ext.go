@@ -1,0 +1,193 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Extended message types used by the live sync service (internal/syncnet):
+// content retrieval, rsync-style incremental updates, and error
+// reporting.
+const (
+	// TypeGet requests a file's content by name.
+	TypeGet MsgType = iota + 9
+	// TypeFileInfo announces a file's metadata ahead of its content.
+	TypeFileInfo
+	// TypeSigRequest asks the server for the rsync signature of its
+	// stored version of a file.
+	TypeSigRequest
+	// TypeSignature carries an encoded delta.Signature.
+	TypeSignature
+	// TypeDelta carries an encoded delta.Delta to apply to the server's
+	// stored version.
+	TypeDelta
+	// TypeError reports a failure for the preceding request.
+	TypeError
+)
+
+// Get requests a file's content.
+type Get struct {
+	Name string
+}
+
+// Type implements Message.
+func (*Get) Type() MsgType { return TypeGet }
+
+// FileInfo announces file metadata. Compression names the comp.Level
+// the following Data payloads are encoded with.
+type FileInfo struct {
+	FileID      uint64
+	Name        string
+	Size        int64
+	Version     uint64
+	Compression uint8
+}
+
+// Type implements Message.
+func (*FileInfo) Type() MsgType { return TypeFileInfo }
+
+// SigRequest asks for the signature of the server's stored version.
+type SigRequest struct {
+	Name string
+	// BlockSize is the granularity the client wants (0 = server
+	// default).
+	BlockSize uint32
+}
+
+// Type implements Message.
+func (*SigRequest) Type() MsgType { return TypeSigRequest }
+
+// SignatureMsg carries an encoded delta.Signature.
+type SignatureMsg struct {
+	Name    string
+	Payload []byte
+}
+
+// Type implements Message.
+func (*SignatureMsg) Type() MsgType { return TypeSignature }
+
+// DeltaMsg carries an encoded delta.Delta.
+type DeltaMsg struct {
+	Name    string
+	Payload []byte
+}
+
+// Type implements Message.
+func (*DeltaMsg) Type() MsgType { return TypeDelta }
+
+// Error reports a failure.
+type Error struct {
+	Code uint32
+	Msg  string
+}
+
+// Type implements Message.
+func (*Error) Type() MsgType { return TypeError }
+
+// Error codes.
+const (
+	ErrNotFound uint32 = 1 + iota
+	ErrBadRequest
+	ErrInternal
+)
+
+func (m *Get) encodeBody(b *bytes.Buffer) { putString(b, m.Name) }
+
+func (m *Get) decodeBody(r *bytes.Reader) (err error) {
+	m.Name, err = getString(r)
+	return err
+}
+
+func (m *FileInfo) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+	putString(b, m.Name)
+	binary.Write(b, binary.LittleEndian, m.Size)
+	binary.Write(b, binary.LittleEndian, m.Version)
+	b.WriteByte(m.Compression)
+}
+
+func (m *FileInfo) decodeBody(r *bytes.Reader) (err error) {
+	if err = binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+		return err
+	}
+	if m.Name, err = getString(r); err != nil {
+		return err
+	}
+	if err = binary.Read(r, binary.LittleEndian, &m.Size); err != nil {
+		return err
+	}
+	if err = binary.Read(r, binary.LittleEndian, &m.Version); err != nil {
+		return err
+	}
+	m.Compression, err = r.ReadByte()
+	return err
+}
+
+func (m *SigRequest) encodeBody(b *bytes.Buffer) {
+	putString(b, m.Name)
+	binary.Write(b, binary.LittleEndian, m.BlockSize)
+}
+
+func (m *SigRequest) decodeBody(r *bytes.Reader) (err error) {
+	if m.Name, err = getString(r); err != nil {
+		return err
+	}
+	return binary.Read(r, binary.LittleEndian, &m.BlockSize)
+}
+
+func encodeNamedPayload(b *bytes.Buffer, name string, payload []byte) {
+	putString(b, name)
+	binary.Write(b, binary.LittleEndian, uint32(len(payload)))
+	b.Write(payload)
+}
+
+func decodeNamedPayload(r *bytes.Reader) (name string, payload []byte, err error) {
+	if name, err = getString(r); err != nil {
+		return "", nil, err
+	}
+	var n uint32
+	if err = binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", nil, err
+	}
+	if int(n) > r.Len() {
+		return "", nil, fmt.Errorf("payload length %d exceeds body", n)
+	}
+	payload = make([]byte, n)
+	_, err = io.ReadFull(r, payload)
+	return name, payload, err
+}
+
+func (m *SignatureMsg) encodeBody(b *bytes.Buffer) { encodeNamedPayload(b, m.Name, m.Payload) }
+
+func (m *SignatureMsg) decodeBody(r *bytes.Reader) (err error) {
+	m.Name, m.Payload, err = decodeNamedPayload(r)
+	return err
+}
+
+func (m *DeltaMsg) encodeBody(b *bytes.Buffer) { encodeNamedPayload(b, m.Name, m.Payload) }
+
+func (m *DeltaMsg) decodeBody(r *bytes.Reader) (err error) {
+	m.Name, m.Payload, err = decodeNamedPayload(r)
+	return err
+}
+
+func (m *Error) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.Code)
+	putString(b, m.Msg)
+}
+
+func (m *Error) decodeBody(r *bytes.Reader) (err error) {
+	if err = binary.Read(r, binary.LittleEndian, &m.Code); err != nil {
+		return err
+	}
+	m.Msg, err = getString(r)
+	return err
+}
+
+// Error implements the error interface so servers can return it
+// directly.
+func (m *Error) Error() string {
+	return fmt.Sprintf("protocol: remote error %d: %s", m.Code, m.Msg)
+}

@@ -1,0 +1,80 @@
+package protocol
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func extMessages() []Message {
+	return []Message{
+		&Get{Name: "docs/report.txt"},
+		&FileInfo{FileID: 3, Name: "a.bin", Size: 1 << 20, Version: 7, Compression: 2},
+		&SigRequest{Name: "a.bin", BlockSize: 8192},
+		&SignatureMsg{Name: "a.bin", Payload: []byte{1, 2, 3, 4, 5}},
+		&DeltaMsg{Name: "a.bin", Payload: []byte("delta bytes")},
+		&Error{Code: ErrNotFound, Msg: "no such file"},
+	}
+}
+
+func TestExtRoundTrip(t *testing.T) {
+	for _, m := range extMessages() {
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%v roundtrip:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestExtTypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range extMessages() {
+		s := m.Type().String()
+		if s == "" || strings.HasPrefix(s, "msgtype(") || seen[s] {
+			t.Errorf("type %d has bad name %q", m.Type(), s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestExtTypesDoNotCollideWithBase(t *testing.T) {
+	base := map[MsgType]bool{}
+	for _, m := range allMessages() {
+		base[m.Type()] = true
+	}
+	for _, m := range extMessages() {
+		if base[m.Type()] {
+			t.Errorf("type %d collides with a base message", m.Type())
+		}
+	}
+}
+
+func TestErrorImplementsError(t *testing.T) {
+	var err error = &Error{Code: ErrBadRequest, Msg: "nope"}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}
+
+func TestNamedPayloadCorruption(t *testing.T) {
+	enc := Encode(&DeltaMsg{Name: "x", Payload: []byte{1, 2, 3}})
+	// Corrupt the payload length to exceed the body.
+	enc[len(enc)-4-3] = 0xFF
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("corrupt payload length not rejected")
+	}
+}
+
+func TestEmptyPayloadRoundTrip(t *testing.T) {
+	got, err := Decode(Encode(&SignatureMsg{Name: "empty"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := got.(*SignatureMsg)
+	if sig.Name != "empty" || len(sig.Payload) != 0 {
+		t.Fatalf("roundtrip = %+v", sig)
+	}
+}

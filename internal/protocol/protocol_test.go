@@ -1,0 +1,200 @@
+package protocol
+
+import (
+	"bytes"
+	"crypto/md5"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func allMessages() []Message {
+	return []Message{
+		&Hello{User: "alice", Device: "M1", Version: "1.0"},
+		&IndexUpdate{
+			FileID: 7, Name: "docs/report.txt", Size: 1 << 20,
+			FileHash:  md5.Sum([]byte("content")),
+			BlockSize: 4 << 20,
+			BlockHashes: []Fingerprint{
+				md5.Sum([]byte("b0")), md5.Sum([]byte("b1")),
+			},
+		},
+		&IndexReply{FileID: 7, DedupHit: false, NeedBlocks: []uint32{0, 1, 5}},
+		&IndexReply{FileID: 8, DedupHit: true},
+		&Data{FileID: 7, Offset: 4096, Payload: []byte("hello world")},
+		&Commit{FileID: 7, Version: 3},
+		&Ack{FileID: 7, Version: 3, OK: true},
+		&Notify{FileID: 7, Version: 3, Name: "docs/report.txt"},
+		&Delete{FileID: 9},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, m := range allMessages() {
+		enc := Encode(m)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Fatalf("%v roundtrip:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for
+// comparison.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *IndexUpdate:
+		if len(v.BlockHashes) == 0 {
+			v.BlockHashes = nil
+		}
+	case *IndexReply:
+		if len(v.NeedBlocks) == 0 {
+			v.NeedBlocks = nil
+		}
+	case *Data:
+		if len(v.Payload) == 0 {
+			v.Payload = nil
+		}
+	}
+	return m
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	for _, m := range allMessages() {
+		if got, want := EncodedSize(m), len(Encode(m)); got != want {
+			t.Errorf("%v: EncodedSize = %d, len(Encode) = %d", m.Type(), got, want)
+		}
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, m := range allMessages() {
+		if m.Type().String() == "" {
+			t.Errorf("type %d has empty name", m.Type())
+		}
+	}
+	if MsgType(99).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+func TestReadMessageFraming(t *testing.T) {
+	var stream bytes.Buffer
+	for _, m := range allMessages() {
+		stream.Write(Encode(m))
+	}
+	for _, want := range allMessages() {
+		got, err := ReadMessage(&stream)
+		if err != nil {
+			t.Fatalf("ReadMessage: %v", err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("got %v, want %v", got.Type(), want.Type())
+		}
+	}
+	if _, err := ReadMessage(&stream); err == nil {
+		t.Fatal("ReadMessage past end should error")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},                      // too short
+		{99, 0, 0, 0, 0},         // unknown type
+		{1, 10, 0, 0, 0},         // length mismatch
+		{1, 1, 0, 0, 0, 0xFF, 0}, // trailing bytes
+		append([]byte{2, 4, 0, 0, 0}, 1, 2, 3, 4), // truncated IndexUpdate body
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d: Decode succeeded on malformed input", i)
+		}
+	}
+}
+
+func TestDecodeCorruptStringLength(t *testing.T) {
+	enc := Encode(&Hello{User: "x"})
+	// Corrupt the user-string length to exceed the body.
+	enc[5] = 0xFF
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("corrupt string length not rejected")
+	}
+}
+
+func TestDecodeCorruptBlockCount(t *testing.T) {
+	enc := Encode(&IndexUpdate{Name: "f"})
+	// Body layout: fileID(8) nameLen(4)+1 size(8) hash(16) blockSize(4) count(4).
+	countOff := 5 + 8 + 4 + 1 + 8 + 16 + 4
+	enc[countOff] = 0xFF
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("corrupt block count not rejected")
+	}
+}
+
+func TestIndexUpdateSizeGrowsWithBlocks(t *testing.T) {
+	small := EncodedSize(&IndexUpdate{Name: "f"})
+	big := EncodedSize(&IndexUpdate{Name: "f", BlockHashes: make([]Fingerprint, 100)})
+	if big-small != 100*md5.Size {
+		t.Fatalf("block hashes cost %d bytes, want %d", big-small, 100*md5.Size)
+	}
+}
+
+// Property: arbitrary Data messages round-trip.
+func TestPropertyDataRoundTrip(t *testing.T) {
+	f := func(id uint64, off int64, payload []byte) bool {
+		m := &Data{FileID: id, Offset: off, Payload: payload}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		d := got.(*Data)
+		return d.FileID == id && d.Offset == off && bytes.Equal(d.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary Hello strings round-trip (including empty and
+// unicode).
+func TestPropertyHelloRoundTrip(t *testing.T) {
+	f := func(user, device, version string) bool {
+		m := &Hello{User: user, Device: device, Version: version}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		h := got.(*Hello)
+		return h.User == user && h.Device == device && h.Version == version
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary bytes.
+func TestPropertyDecodeRobust(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("Decode panicked")
+			}
+		}()
+		Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeIndexUpdate(b *testing.B) {
+	m := &IndexUpdate{Name: "file", BlockHashes: make([]Fingerprint, 256)}
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}

@@ -1,0 +1,207 @@
+// Package simclock implements a deterministic discrete-event scheduler
+// with virtual time.
+//
+// Every actor in a simulation (sync clients, cloud back ends, network
+// links) schedules callbacks on a shared *Clock. Time only advances when
+// Run (or Step) executes the next pending event, so an experiment that
+// spans hours of simulated time completes in microseconds of wall time
+// and is bit-for-bit reproducible: events that share a firing time run
+// in the order they were scheduled.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a discrete-event virtual clock. The zero value is not usable;
+// construct with New.
+type Clock struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	// running guards against re-entrant Run calls, which would corrupt
+	// the event loop's notion of "current event".
+	running bool
+}
+
+// New returns a Clock positioned at virtual time zero with no pending
+// events.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now reports the current virtual time as an offset from the simulation
+// epoch.
+func (c *Clock) Now() time.Duration {
+	return c.now
+}
+
+// Timer is a handle to a scheduled event. It can be stopped before it
+// fires.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the
+// event from firing: false means the event already ran or was already
+// stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fired {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && !t.ev.fired
+}
+
+type event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+	index    int
+}
+
+// Schedule arranges for fn to run at Now()+delay. A negative delay is
+// treated as zero (fire on the next Step). fn must not be nil.
+func (c *Clock) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return c.At(c.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. Scheduling in
+// the past is clamped to the present. fn must not be nil.
+func (c *Clock) At(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("simclock: At called with nil function")
+	}
+	if t < c.now {
+		t = c.now
+	}
+	ev := &event{at: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the single earliest pending event, advancing virtual
+// time to its firing time. It reports whether an event ran; false means
+// the queue was empty.
+func (c *Clock) Step() bool {
+	for c.events.Len() > 0 {
+		ev := heap.Pop(&c.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		c.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes pending events in timestamp order until none remain.
+// Events may schedule further events; Run continues until the queue
+// drains. Run panics if called re-entrantly from within an event.
+func (c *Clock) Run() {
+	if c.running {
+		panic("simclock: re-entrant Run")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	for c.Step() {
+	}
+}
+
+// RunUntil executes pending events with firing times ≤ deadline, then
+// advances the clock to deadline (even if idle before it). Events
+// scheduled past the deadline remain pending.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	if c.running {
+		panic("simclock: re-entrant RunUntil")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	for {
+		ev := c.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Pending reports the number of scheduled, non-canceled events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, ev := range c.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Clock) peek() *event {
+	for c.events.Len() > 0 {
+		ev := c.events[0]
+		if ev.canceled {
+			heap.Pop(&c.events)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// String describes the clock state, for debugging.
+func (c *Clock) String() string {
+	return fmt.Sprintf("simclock(now=%v pending=%d)", c.now, c.Pending())
+}
+
+// eventHeap orders events by (firing time, scheduling sequence) so that
+// simultaneous events run in FIFO order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,312 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudsync/internal/chunker"
+	"cloudsync/internal/content"
+)
+
+func TestRESTPutGet(t *testing.T) {
+	s := NewREST()
+	blob := content.FromBytes([]byte("hello"))
+	s.Put("a", blob)
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(blob) {
+		t.Fatal("Get returned different content")
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Gets != 1 || st.BytesIn != 5 || st.BytesOut != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRESTGetMissing(t *testing.T) {
+	if _, err := NewREST().Get("nope"); err == nil {
+		t.Fatal("Get of missing key should error")
+	}
+}
+
+func TestRESTPutNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put(nil) did not panic")
+		}
+	}()
+	NewREST().Put("a", nil)
+}
+
+func TestFakeDeletion(t *testing.T) {
+	s := NewREST()
+	s.Put("a", content.FromBytes([]byte("v1")))
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("a") {
+		t.Fatal("deleted object still Exists")
+	}
+	if _, err := s.Get("a"); err == nil {
+		t.Fatal("Get of deleted object should error")
+	}
+	// Fake deletion keeps the version history.
+	if got := s.Versions("a"); got != 1 {
+		t.Fatalf("Versions = %d, want 1 (content kept)", got)
+	}
+	// Rollback revives the content — the recovery feature the paper
+	// credits fake deletion for.
+	if err := s.Rollback("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Bytes()) != "v1" {
+		t.Fatalf("rolled back content = %q", got.Bytes())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	if err := NewREST().Delete("nope"); err == nil {
+		t.Fatal("Delete of missing key should error")
+	}
+}
+
+func TestRollbackErrors(t *testing.T) {
+	s := NewREST()
+	s.Put("a", content.FromBytes([]byte("x")))
+	if err := s.Rollback("a", 5); err == nil {
+		t.Fatal("Rollback to missing version should error")
+	}
+	if err := s.Rollback("b", 0); err == nil {
+		t.Fatal("Rollback of missing key should error")
+	}
+}
+
+func TestVersionHistory(t *testing.T) {
+	s := NewREST()
+	s.Put("a", content.FromBytes([]byte("v1")))
+	s.Put("a", content.FromBytes([]byte("v2")))
+	if got := s.Versions("a"); got != 2 {
+		t.Fatalf("Versions = %d", got)
+	}
+	cur, _ := s.Get("a")
+	if string(cur.Bytes()) != "v2" {
+		t.Fatalf("current = %q", cur.Bytes())
+	}
+	if err := s.Rollback("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ = s.Get("a")
+	if string(cur.Bytes()) != "v1" {
+		t.Fatalf("after rollback = %q", cur.Bytes())
+	}
+}
+
+func TestStoredBytes(t *testing.T) {
+	s := NewREST()
+	s.Put("a", content.Zeros(100))
+	s.Put("b", content.Zeros(50))
+	s.Delete("b")
+	if got := s.StoredBytes(); got != 100 {
+		t.Fatalf("StoredBytes = %d, want 100 (live objects only)", got)
+	}
+}
+
+// midLayerRoundTrip exercises create/modify/read/delete through any
+// MidLayer and verifies content fidelity.
+func midLayerRoundTrip(t *testing.T, l MidLayer) {
+	t.Helper()
+	v1 := content.FromBytes(bytes.Repeat([]byte("abcd"), 4096)) // 16 KB
+	if _, err := l.Create("f", v1); err != nil {
+		t.Fatalf("%s: Create: %v", l.Name(), err)
+	}
+	got, _, err := l.Read("f")
+	if err != nil {
+		t.Fatalf("%s: Read: %v", l.Name(), err)
+	}
+	if !bytes.Equal(got.Bytes(), v1.Bytes()) {
+		t.Fatalf("%s: read-back mismatch after create", l.Name())
+	}
+
+	// Modify 1 byte in the middle.
+	data2 := append([]byte(nil), v1.Bytes()...)
+	data2[8000] ^= 0xFF
+	v2 := content.FromBytes(data2)
+	if _, err := l.Modify("f", v2, []chunker.Range{{Off: 8000, Len: 1}}); err != nil {
+		t.Fatalf("%s: Modify: %v", l.Name(), err)
+	}
+	got, _, err = l.Read("f")
+	if err != nil {
+		t.Fatalf("%s: Read after modify: %v", l.Name(), err)
+	}
+	if !bytes.Equal(got.Bytes(), data2) {
+		t.Fatalf("%s: read-back mismatch after modify", l.Name())
+	}
+
+	if _, err := l.Delete("f"); err != nil {
+		t.Fatalf("%s: Delete: %v", l.Name(), err)
+	}
+	if _, _, err := l.Read("f"); err == nil {
+		t.Fatalf("%s: Read after delete should error", l.Name())
+	}
+}
+
+func TestFullFileLayerRoundTrip(t *testing.T) {
+	midLayerRoundTrip(t, &FullFileLayer{Store: NewREST()})
+}
+
+func TestTransformLayerRoundTrip(t *testing.T) {
+	midLayerRoundTrip(t, &TransformLayer{Store: NewREST()})
+}
+
+func TestChunkObjectLayerRoundTrip(t *testing.T) {
+	midLayerRoundTrip(t, &ChunkObjectLayer{Store: NewREST(), ChunkSize: 4096})
+}
+
+func TestMidLayerNames(t *testing.T) {
+	layers := []MidLayer{
+		&FullFileLayer{Store: NewREST()},
+		&TransformLayer{Store: NewREST()},
+		&ChunkObjectLayer{Store: NewREST(), ChunkSize: 4096},
+	}
+	seen := map[string]bool{}
+	for _, l := range layers {
+		name := l.Name()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate mid-layer name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestMidLayerModifyMissing(t *testing.T) {
+	for _, l := range []MidLayer{
+		&FullFileLayer{Store: NewREST()},
+		&TransformLayer{Store: NewREST()},
+		&ChunkObjectLayer{Store: NewREST(), ChunkSize: 4096},
+	} {
+		if _, err := l.Modify("missing", content.Zeros(10), nil); err == nil {
+			t.Errorf("%s: Modify of missing file should error", l.Name())
+		}
+	}
+}
+
+// The § 4.3 ablation in miniature: for a small modification to a large
+// file, the chunk-object layer moves far less internal data than the
+// transform layer, which in turn explains why full-file REST interfaces
+// make IDS expensive for providers.
+func TestMidLayerInternalTrafficOrdering(t *testing.T) {
+	const size = 1 << 20
+	base := content.Random(size, 1).Bytes()
+	mod := append([]byte(nil), base...)
+	mod[512_000] ^= 1
+	dirty := []chunker.Range{{Off: 512_000, Len: 1}}
+
+	full := &FullFileLayer{Store: NewREST()}
+	trans := &TransformLayer{Store: NewREST()}
+	chunk := &ChunkObjectLayer{Store: NewREST(), ChunkSize: 64 << 10}
+
+	var internal [3]int64
+	for i, l := range []MidLayer{full, trans, chunk} {
+		if _, err := l.Create("f", content.FromBytes(base)); err != nil {
+			t.Fatal(err)
+		}
+		n, err := l.Modify("f", content.FromBytes(mod), dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		internal[i] = n
+	}
+	// Full-file: ≈ size. Transform: ≈ 2×size (GET + PUT). Chunk: ≈ one
+	// chunk + metadata.
+	if internal[1] < internal[0] {
+		t.Fatalf("transform (%d) should cost at least full-file (%d)", internal[1], internal[0])
+	}
+	if internal[2] >= internal[0]/4 {
+		t.Fatalf("chunk-objects (%d) should be far below full-file (%d)", internal[2], internal[0])
+	}
+	if threshold := int64(size) * 9 / 5; internal[1] < threshold {
+		t.Fatalf("transform = %d, want ≈ 2×%d (GET+PUT)", internal[1], size)
+	}
+}
+
+func TestChunkObjectLayerShrink(t *testing.T) {
+	l := &ChunkObjectLayer{Store: NewREST(), ChunkSize: 1024}
+	big := content.Random(10_000, 2)
+	if _, err := l.Create("f", big); err != nil {
+		t.Fatal(err)
+	}
+	small := content.FromBytes(big.Bytes()[:3000])
+	if _, err := l.Modify("f", small, []chunker.Range{{Off: 0, Len: 3000}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := l.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 3000 {
+		t.Fatalf("after shrink size = %d", got.Size())
+	}
+	if !bytes.Equal(got.Bytes(), big.Bytes()[:3000]) {
+		t.Fatal("shrunken content mismatch")
+	}
+}
+
+func TestChunkObjectLayerAppend(t *testing.T) {
+	l := &ChunkObjectLayer{Store: NewREST(), ChunkSize: 1024}
+	base := content.Random(4096, 3)
+	if _, err := l.Create("f", base); err != nil {
+		t.Fatal(err)
+	}
+	grown := content.FromBytes(append(append([]byte(nil), base.Bytes()...),
+		content.Random(2048, 4).Bytes()...))
+	n, err := l.Modify("f", grown, []chunker.Range{{Off: 4096, Len: 2048}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the two appended chunks plus metadata should move.
+	if n > 3*1024 {
+		t.Fatalf("append moved %d internal bytes, want ≈ 2 KB + meta", n)
+	}
+	got, _, err := l.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), grown.Bytes()) {
+		t.Fatal("append content mismatch")
+	}
+}
+
+func TestChunkObjectLayerInvalidChunkSizePanics(t *testing.T) {
+	l := &ChunkObjectLayer{Store: NewREST()}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ChunkSize did not panic")
+		}
+	}()
+	l.Create("f", content.Zeros(10))
+}
+
+func TestStatsInternalBytes(t *testing.T) {
+	s := Stats{BytesIn: 10, BytesOut: 7}
+	if s.InternalBytes() != 17 {
+		t.Fatalf("InternalBytes = %d", s.InternalBytes())
+	}
+}
+
+func TestTransformLayerVersionKeyFormat(t *testing.T) {
+	l := &TransformLayer{Store: NewREST()}
+	l.Create("dir/file.txt", content.Zeros(1))
+	if !l.Store.Exists("dir/file.txt@0") {
+		t.Fatal("version key not found")
+	}
+	if k := l.versionKey("x", 3); !strings.Contains(k, "@3") {
+		t.Fatalf("versionKey = %q", k)
+	}
+}

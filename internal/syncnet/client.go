@@ -1,0 +1,280 @@
+package syncnet
+
+import (
+	"crypto/md5"
+	"fmt"
+	"net"
+
+	"cloudsync/internal/comp"
+	"cloudsync/internal/delta"
+	"cloudsync/internal/protocol"
+)
+
+// UploadStats describes what one Upload cost.
+type UploadStats struct {
+	// DedupHit: the server already had the content; nothing was sent.
+	DedupHit bool
+	// DeltaSync: the file was updated incrementally from a signature.
+	DeltaSync bool
+	// PayloadBytes is the content payload put on the wire (after
+	// compression / delta reduction).
+	PayloadBytes int
+	// Version is the committed server-side version.
+	Version uint64
+}
+
+// Client is a sync client for one user over one connection. It is not
+// safe for concurrent use; open one client per goroutine.
+type Client struct {
+	conn        net.Conn
+	user        string
+	compression comp.Level
+	blockSize   int
+
+	ids   map[string]uint64
+	known map[string]bool // names known to exist server-side
+}
+
+// ClientOption customizes a client.
+type ClientOption func(*Client)
+
+// WithCompression sets the content compression level (must match the
+// server's configuration).
+func WithCompression(l comp.Level) ClientOption {
+	return func(c *Client) { c.compression = l }
+}
+
+// WithBlockSize sets the delta-sync granularity requested from the
+// server (0 = server default).
+func WithBlockSize(bs int) ClientOption {
+	return func(c *Client) { c.blockSize = bs }
+}
+
+// NewClient starts a session on an established connection. It sends
+// the Hello immediately.
+func NewClient(conn net.Conn, user, device string, opts ...ClientOption) (*Client, error) {
+	if user == "" {
+		return nil, fmt.Errorf("syncnet: empty user")
+	}
+	c := &Client{
+		conn:  conn,
+		user:  user,
+		ids:   make(map[string]uint64),
+		known: make(map[string]bool),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if err := send(conn, &protocol.Hello{User: user, Device: device, Version: "cloudsync/1"}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dial connects to a server and starts a session.
+func Dial(network, addr, user, device string, opts ...ClientOption) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("syncnet: dial: %w", err)
+	}
+	c, err := NewClient(conn, user, device, opts...)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) read() (protocol.Message, error) {
+	m, err := protocol.ReadMessage(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("syncnet: reading reply: %w", err)
+	}
+	if e, ok := m.(*protocol.Error); ok {
+		return nil, e
+	}
+	return m, nil
+}
+
+// Upload synchronizes data under name. For a file the server already
+// holds, it tries incremental (rsync) sync against the server's
+// signature; otherwise it performs a full upload with dedup probing
+// and compression.
+func (c *Client) Upload(name string, data []byte) (UploadStats, error) {
+	if c.known[name] {
+		stats, err := c.deltaUpload(name, data)
+		if err == nil {
+			return stats, nil
+		}
+		var perr *protocol.Error
+		if isProtoErr(err, &perr) && perr.Code == protocol.ErrNotFound {
+			// Deleted server-side meanwhile: fall through to full upload.
+			delete(c.known, name)
+		} else {
+			return stats, err
+		}
+	}
+	return c.fullUpload(name, data)
+}
+
+func isProtoErr(err error, out **protocol.Error) bool {
+	e, ok := err.(*protocol.Error)
+	if ok {
+		*out = e
+	}
+	return ok
+}
+
+func (c *Client) fullUpload(name string, data []byte) (UploadStats, error) {
+	var stats UploadStats
+	hash := md5.Sum(data)
+	if err := send(c.conn, &protocol.IndexUpdate{
+		FileID: c.ids[name], Name: name, Size: int64(len(data)), FileHash: hash,
+	}); err != nil {
+		return stats, err
+	}
+	m, err := c.read()
+	if err != nil {
+		return stats, err
+	}
+	reply, ok := m.(*protocol.IndexReply)
+	if !ok {
+		return stats, fmt.Errorf("syncnet: expected index reply, got %v", m.Type())
+	}
+	c.ids[name] = reply.FileID
+	stats.DedupHit = reply.DedupHit
+
+	if !reply.DedupHit {
+		payload := comp.Compress(data, c.compression)
+		stats.PayloadBytes = len(payload)
+		for off := 0; off < len(payload); off += DataPieceSize {
+			end := off + DataPieceSize
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if err := send(c.conn, &protocol.Data{
+				FileID: reply.FileID, Offset: int64(off), Payload: payload[off:end],
+			}); err != nil {
+				return stats, err
+			}
+		}
+	}
+	if err := send(c.conn, &protocol.Commit{FileID: reply.FileID}); err != nil {
+		return stats, err
+	}
+	ack, err := c.readAck()
+	if err != nil {
+		return stats, err
+	}
+	stats.Version = ack.Version
+	c.known[name] = true
+	return stats, nil
+}
+
+func (c *Client) deltaUpload(name string, data []byte) (UploadStats, error) {
+	var stats UploadStats
+	if err := send(c.conn, &protocol.SigRequest{Name: name, BlockSize: uint32(c.blockSize)}); err != nil {
+		return stats, err
+	}
+	m, err := c.read()
+	if err != nil {
+		return stats, err
+	}
+	sigMsg, ok := m.(*protocol.SignatureMsg)
+	if !ok {
+		return stats, fmt.Errorf("syncnet: expected signature, got %v", m.Type())
+	}
+	sig, err := delta.DecodeSignature(sigMsg.Payload)
+	if err != nil {
+		return stats, err
+	}
+	d := delta.Compute(sig, data)
+	payload := d.Encode()
+	if err := send(c.conn, &protocol.DeltaMsg{Name: name, Payload: payload}); err != nil {
+		return stats, err
+	}
+	ack, err := c.readAck()
+	if err != nil {
+		return stats, err
+	}
+	stats.DeltaSync = true
+	stats.PayloadBytes = len(payload)
+	stats.Version = ack.Version
+	return stats, nil
+}
+
+func (c *Client) readAck() (*protocol.Ack, error) {
+	m, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	ack, ok := m.(*protocol.Ack)
+	if !ok {
+		return nil, fmt.Errorf("syncnet: expected ack, got %v", m.Type())
+	}
+	if !ack.OK {
+		return nil, fmt.Errorf("syncnet: server rejected the operation")
+	}
+	return ack, nil
+}
+
+// Download fetches a file's content.
+func (c *Client) Download(name string) ([]byte, error) {
+	if err := send(c.conn, &protocol.Get{Name: name}); err != nil {
+		return nil, err
+	}
+	m, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	info, ok := m.(*protocol.FileInfo)
+	if !ok {
+		return nil, fmt.Errorf("syncnet: expected file info, got %v", m.Type())
+	}
+	var payload []byte
+	for {
+		m, err := c.read()
+		if err != nil {
+			return nil, err
+		}
+		switch v := m.(type) {
+		case *protocol.Data:
+			if v.Offset != int64(len(payload)) {
+				return nil, fmt.Errorf("syncnet: out-of-order download piece at %d", v.Offset)
+			}
+			payload = append(payload, v.Payload...)
+		case *protocol.Ack:
+			raw, err := comp.Decompress(payload, comp.Level(info.Compression))
+			if err != nil {
+				return nil, err
+			}
+			if int64(len(raw)) != info.Size {
+				return nil, fmt.Errorf("syncnet: downloaded %d bytes, expected %d", len(raw), info.Size)
+			}
+			c.ids[name] = info.FileID
+			c.known[name] = true
+			return raw, nil
+		default:
+			return nil, fmt.Errorf("syncnet: unexpected %v during download", m.Type())
+		}
+	}
+}
+
+// Delete removes a file (server-side fake deletion).
+func (c *Client) Delete(name string) error {
+	id, ok := c.ids[name]
+	if !ok {
+		return fmt.Errorf("syncnet: %q was never synced by this client", name)
+	}
+	if err := send(c.conn, &protocol.Delete{FileID: id}); err != nil {
+		return err
+	}
+	if _, err := c.readAck(); err != nil {
+		return err
+	}
+	delete(c.known, name)
+	return nil
+}

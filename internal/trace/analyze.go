@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"cloudsync/internal/dedup"
+	"cloudsync/internal/metrics"
+)
+
+// Stats summarizes a trace the way § 3–5 of the paper does.
+type Stats struct {
+	Files int
+	Users int
+
+	// Size statistics (bytes), original and compressed — Fig. 2.
+	MedianSize, MeanSize, MaxSize          float64
+	MedianCompressed, MeanCompressed       float64
+	SmallFraction, SmallCompressedFraction float64
+	CompressibleFraction                   float64
+	CompressionRatio                       float64
+	ModifiedFraction                       float64
+	DuplicateVolumeFraction                float64
+	BatchableSmallFraction                 float64
+}
+
+// Analyze computes the headline statistics of a trace.
+func Analyze(recs []Record) Stats {
+	var s Stats
+	s.Files = len(recs)
+	if len(recs) == 0 {
+		return s
+	}
+	users := map[string]bool{}
+	var orig, comp metrics.Distribution
+	var small, smallComp, compressible, modified int
+	var dupCounter dedup.RatioCounter
+	for _, r := range recs {
+		users[r.User] = true
+		orig.Add(float64(r.OriginalSize))
+		comp.Add(float64(r.CompressedSize))
+		if r.Small() {
+			small++
+		}
+		if r.CompressedSize < SmallFileThreshold {
+			smallComp++
+		}
+		if r.EffectivelyCompressible() {
+			compressible++
+		}
+		if r.ModifiedAtLeastOnce() {
+			modified++
+		}
+		dupCounter.Add(r.FullHash(), r.OriginalSize)
+	}
+	n := float64(len(recs))
+	s.Users = len(users)
+	s.MedianSize = orig.Median()
+	s.MeanSize = orig.Mean()
+	s.MaxSize = orig.Max()
+	s.MedianCompressed = comp.Median()
+	s.MeanCompressed = comp.Mean()
+	s.SmallFraction = float64(small) / n
+	s.SmallCompressedFraction = float64(smallComp) / n
+	s.CompressibleFraction = float64(compressible) / n
+	s.CompressionRatio = orig.Sum() / comp.Sum()
+	s.ModifiedFraction = float64(modified) / n
+	s.DuplicateVolumeFraction = dupCounter.DuplicateFraction()
+	s.BatchableSmallFraction = batchableSmallFraction(recs)
+	return s
+}
+
+// batchableSmallFraction reports the share of small files created
+// within BatchWindow of another small file of the same user — the
+// files BDS could logically combine (§ 4.1's 66 %).
+func batchableSmallFraction(recs []Record) float64 {
+	byUser := map[string][]time.Time{}
+	var totalSmall int
+	for _, r := range recs {
+		if r.Small() {
+			byUser[r.User] = append(byUser[r.User], r.Created)
+			totalSmall++
+		}
+	}
+	if totalSmall == 0 {
+		return 0
+	}
+	batchable := 0
+	for _, times := range byUser {
+		sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+		for i, t := range times {
+			near := (i > 0 && t.Sub(times[i-1]) <= BatchWindow) ||
+				(i+1 < len(times) && times[i+1].Sub(t) <= BatchWindow)
+			if near {
+				batchable++
+			}
+		}
+	}
+	return float64(batchable) / float64(totalSmall)
+}
+
+// DedupRatio computes the cross-user deduplication ratio at a block
+// granularity (Fig. 5); blockSize 0 means full-file granularity.
+func DedupRatio(recs []Record, blockSize int) float64 {
+	var rc dedup.RatioCounter
+	for _, r := range recs {
+		if blockSize == 0 {
+			rc.Add(r.FullHash(), r.OriginalSize)
+			continue
+		}
+		n := r.NumBlocks(blockSize)
+		for idx := int64(0); idx < n; idx++ {
+			length := int64(blockSize)
+			if start := idx * int64(blockSize); start+length > r.OriginalSize {
+				length = r.OriginalSize - start
+			}
+			rc.Add(r.BlockHash(blockSize, idx), length)
+		}
+	}
+	return rc.Ratio()
+}
+
+// SizeCDF evaluates the original- and compressed-size CDFs at the given
+// byte values — the data behind Fig. 2.
+func SizeCDF(recs []Record, xs []float64) (orig, comp []float64) {
+	var o, c metrics.Distribution
+	for _, r := range recs {
+		o.Add(float64(r.OriginalSize))
+		c.Add(float64(r.CompressedSize))
+	}
+	return o.CDFPoints(xs), c.CDFPoints(xs)
+}
+
+// PerServiceCounts reports users and files per service (Table 2).
+func PerServiceCounts(recs []Record) map[string][2]int {
+	users := map[string]map[string]bool{}
+	files := map[string]int{}
+	for _, r := range recs {
+		if users[r.Service] == nil {
+			users[r.Service] = map[string]bool{}
+		}
+		users[r.Service][r.User] = true
+		files[r.Service]++
+	}
+	out := map[string][2]int{}
+	for svc, u := range users {
+		out[svc] = [2]int{len(u), files[svc]}
+	}
+	return out
+}

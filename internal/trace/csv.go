@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column layout of the on-disk trace format. Block
+// hashes are not stored: they derive deterministically from content_id,
+// parent_id, and shared_prefix (see Record.BlockHash), which keeps a
+// full-scale trace small.
+var csvHeader = []string{
+	"user", "service", "name_md5", "original_size", "compressed_size",
+	"created", "modified", "mods", "content_id", "parent_id", "shared_prefix",
+}
+
+// WriteCSV writes records in the trace CSV format.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i, r := range recs {
+		row := []string{
+			r.User,
+			r.Service,
+			hex.EncodeToString(r.NameHash[:]),
+			strconv.FormatInt(r.OriginalSize, 10),
+			strconv.FormatInt(r.CompressedSize, 10),
+			r.Created.UTC().Format(time.RFC3339Nano),
+			r.Modified.UTC().Format(time.RFC3339Nano),
+			strconv.Itoa(r.Mods),
+			strconv.FormatInt(r.ContentID, 10),
+			strconv.FormatInt(r.ParentID, 10),
+			strconv.FormatInt(r.SharedPrefix, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	var r Record
+	r.User = row[0]
+	r.Service = row[1]
+	nameHash, err := hex.DecodeString(row[2])
+	if err != nil || len(nameHash) != len(r.NameHash) {
+		return r, fmt.Errorf("bad name_md5 %q", row[2])
+	}
+	copy(r.NameHash[:], nameHash)
+	ints := []struct {
+		dst *int64
+		col int
+	}{
+		{&r.OriginalSize, 3}, {&r.CompressedSize, 4},
+		{&r.ContentID, 8}, {&r.ParentID, 9}, {&r.SharedPrefix, 10},
+	}
+	for _, f := range ints {
+		v, err := strconv.ParseInt(row[f.col], 10, 64)
+		if err != nil {
+			return r, fmt.Errorf("bad %s %q", csvHeader[f.col], row[f.col])
+		}
+		*f.dst = v
+	}
+	if r.Created, err = time.Parse(time.RFC3339Nano, row[5]); err != nil {
+		return r, fmt.Errorf("bad created %q", row[5])
+	}
+	if r.Modified, err = time.Parse(time.RFC3339Nano, row[6]); err != nil {
+		return r, fmt.Errorf("bad modified %q", row[6])
+	}
+	if r.Mods, err = strconv.Atoi(row[7]); err != nil {
+		return r, fmt.Errorf("bad mods %q", row[7])
+	}
+	if r.OriginalSize < 0 || r.CompressedSize < 0 {
+		return r, fmt.Errorf("negative size")
+	}
+	return r, nil
+}

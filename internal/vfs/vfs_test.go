@@ -1,0 +1,262 @@
+package vfs
+
+import (
+	"testing"
+
+	"cloudsync/internal/chunker"
+	"cloudsync/internal/content"
+	"cloudsync/internal/simclock"
+)
+
+func newFS() *FS { return New(simclock.New()) }
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpCreate: "create", OpModify: "modify", OpDelete: "delete"} {
+		if got := op.String(); got != want {
+			t.Errorf("%d = %q, want %q", op, got, want)
+		}
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op should render")
+	}
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	fs := newFS()
+	if err := fs.Create("a.txt", content.Zeros(100)); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := fs.File("a.txt")
+	if !ok {
+		t.Fatal("file not found after create")
+	}
+	if f.Name() != "a.txt" || f.Size() != 100 {
+		t.Fatalf("file = %q size %d", f.Name(), f.Size())
+	}
+	if fs.Len() != 1 {
+		t.Fatalf("Len = %d", fs.Len())
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	fs := newFS()
+	fs.Create("a", content.Zeros(1))
+	if err := fs.Create("a", content.Zeros(1)); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+}
+
+func TestCreateNilFails(t *testing.T) {
+	if err := newFS().Create("a", nil); err == nil {
+		t.Fatal("nil content should fail")
+	}
+}
+
+func TestWriteMissingFails(t *testing.T) {
+	if err := newFS().Write("ghost", content.Zeros(1), nil); err == nil {
+		t.Fatal("write to missing file should fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := newFS()
+	fs.Create("a", content.Zeros(1))
+	if err := fs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.File("a"); ok {
+		t.Fatal("file still present after delete")
+	}
+	if err := fs.Delete("a"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestWatcherEvents(t *testing.T) {
+	fs := newFS()
+	var events []Event
+	fs.Watch(func(e Event) { events = append(events, e) })
+	fs.Create("a", content.Zeros(10))
+	fs.Write("a", content.Zeros(20), []chunker.Range{{Off: 10, Len: 10}})
+	fs.Delete("a")
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	wantOps := []Op{OpCreate, OpModify, OpDelete}
+	for i, e := range events {
+		if e.Op != wantOps[i] || e.Name != "a" {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+	// Generations strictly increase.
+	if !(events[0].Gen < events[1].Gen && events[1].Gen < events[2].Gen) {
+		t.Fatalf("generations not increasing: %+v", events)
+	}
+}
+
+func TestWatchNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Watch(nil) did not panic")
+		}
+	}()
+	newFS().Watch(nil)
+}
+
+func TestEditsSinceCreation(t *testing.T) {
+	fs := newFS()
+	preGen := fs.Gen()
+	fs.Create("a", content.Zeros(100))
+	f, _ := fs.File("a")
+	edits := f.EditsSince(preGen)
+	if len(edits) != 1 || edits[0] != (chunker.Range{Off: 0, Len: 100}) {
+		t.Fatalf("EditsSince before creation = %v, want whole file", edits)
+	}
+}
+
+func TestEditsSinceTracksRanges(t *testing.T) {
+	fs := newFS()
+	fs.Create("a", content.Zeros(1000))
+	f, _ := fs.File("a")
+	synced := f.Gen()
+
+	fs.Write("a", content.Zeros(1000), []chunker.Range{{Off: 10, Len: 5}})
+	fs.Write("a", content.Zeros(1000), []chunker.Range{{Off: 500, Len: 20}})
+	edits := f.EditsSince(synced)
+	if len(edits) != 2 {
+		t.Fatalf("edits = %v, want 2 ranges", edits)
+	}
+	if edits[0] != (chunker.Range{Off: 10, Len: 5}) || edits[1] != (chunker.Range{Off: 500, Len: 20}) {
+		t.Fatalf("edits = %v", edits)
+	}
+	// After "syncing" at the latest generation, nothing is dirty.
+	if rest := f.EditsSince(f.Gen()); len(rest) != 0 {
+		t.Fatalf("EditsSince(latest) = %v, want empty", rest)
+	}
+}
+
+func TestAppendRecordsTailEdit(t *testing.T) {
+	fs := newFS()
+	fs.Create("log", content.Random(1024, 5))
+	f, _ := fs.File("log")
+	synced := f.Gen()
+	if err := fs.Append("log", 512); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 1536 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	edits := f.EditsSince(synced)
+	if len(edits) != 1 || edits[0] != (chunker.Range{Off: 1024, Len: 512}) {
+		t.Fatalf("edits = %v", edits)
+	}
+	// Content prefix is preserved (descriptor blob Resize property).
+	old := content.Random(1024, 5).Bytes()
+	for i, b := range f.Blob().Bytes()[:1024] {
+		if b != old[i] {
+			t.Fatal("append changed existing content")
+		}
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	fs := newFS()
+	if err := fs.Append("ghost", 1); err == nil {
+		t.Fatal("append to missing file should fail")
+	}
+	fs.Create("a", content.Zeros(1))
+	if err := fs.Append("a", -1); err == nil {
+		t.Fatal("negative append should fail")
+	}
+}
+
+func TestModifyByte(t *testing.T) {
+	fs := newFS()
+	fs.Create("a", content.Random(1000, 7))
+	f, _ := fs.File("a")
+	synced := f.Gen()
+	if err := fs.ModifyByte("a", 555); err != nil {
+		t.Fatal(err)
+	}
+	edits := f.EditsSince(synced)
+	if len(edits) != 1 || edits[0] != (chunker.Range{Off: 555, Len: 1}) {
+		t.Fatalf("edits = %v", edits)
+	}
+}
+
+func TestModifyByteLiteralActuallyFlips(t *testing.T) {
+	fs := newFS()
+	orig := []byte("hello world")
+	fs.Create("a", content.FromBytes(append([]byte(nil), orig...)))
+	if err := fs.ModifyByte("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.File("a")
+	if f.Blob().Bytes()[0] == orig[0] {
+		t.Fatal("literal byte not flipped")
+	}
+	if string(f.Blob().Bytes()[1:]) != string(orig[1:]) {
+		t.Fatal("other bytes changed")
+	}
+}
+
+func TestModifyByteBounds(t *testing.T) {
+	fs := newFS()
+	fs.Create("a", content.Zeros(10))
+	if err := fs.ModifyByte("a", 10); err == nil {
+		t.Fatal("out-of-range modify should fail")
+	}
+	if err := fs.ModifyByte("a", -1); err == nil {
+		t.Fatal("negative offset should fail")
+	}
+	if err := fs.ModifyByte("ghost", 0); err == nil {
+		t.Fatal("modify of missing file should fail")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	fs := newFS()
+	for _, n := range []string{"c", "a", "b"} {
+		fs.Create(n, content.Zeros(1))
+	}
+	names := fs.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestEditLogCompaction(t *testing.T) {
+	fs := newFS()
+	fs.Create("a", content.Random(1<<20, 1))
+	f, _ := fs.File("a")
+	synced := f.Gen()
+	// Far more edits than the compaction threshold.
+	for i := 0; i < 2000; i++ {
+		fs.Write("a", f.Blob(), []chunker.Range{{Off: int64(i * 100), Len: 10}})
+	}
+	if len(f.edits) > 600 {
+		t.Fatalf("edit log grew to %d entries; compaction failed", len(f.edits))
+	}
+	// The merged log still reports every dirty range.
+	edits := f.EditsSince(synced)
+	var total int64
+	for _, r := range edits {
+		total += r.Len
+	}
+	if total != 2000*10 {
+		t.Fatalf("dirty volume after compaction = %d, want 20000", total)
+	}
+}
+
+func TestGenMonotone(t *testing.T) {
+	fs := newFS()
+	prev := fs.Gen()
+	fs.Create("a", content.Zeros(1))
+	for i := 0; i < 10; i++ {
+		fs.Append("a", 1)
+		if fs.Gen() <= prev {
+			t.Fatal("generation not monotone")
+		}
+		prev = fs.Gen()
+	}
+}

@@ -1,0 +1,225 @@
+// Package wire models the framing overhead of the protocol stack that
+// commercial cloud storage clients speak: HTTPS over TLS over TCP/IP.
+//
+// All six services studied in the paper encrypt their application-layer
+// data, so the measurement methodology treats the stack below the sync
+// protocol as a cost model: every application byte sent also costs HTTP
+// headers, TLS record framing, per-segment TCP/IP headers, pure ACKs on
+// the reverse path, and — for fresh connections — TCP and TLS
+// handshakes. Conn applies that cost model and records the resulting
+// packets into a capture.Capture.
+package wire
+
+import (
+	"time"
+
+	"cloudsync/internal/capture"
+)
+
+// Params describes the framing cost model. DefaultParams returns values
+// representative of the 2014-era HTTPS stacks the paper measured.
+type Params struct {
+	// MSS is the TCP maximum segment size (payload bytes per segment).
+	MSS int
+	// SegHeader is the per-segment overhead: Ethernet + IP + TCP headers
+	// as Wireshark counts them on the wire.
+	SegHeader int
+	// TLSRecordSize is the maximum plaintext per TLS record.
+	TLSRecordSize int
+	// TLSRecordOverhead is the per-record framing cost (header + MAC +
+	// padding amortised).
+	TLSRecordOverhead int
+	// HTTPRequestHeader and HTTPResponseHeader approximate the header
+	// block sizes of one API request/response pair.
+	HTTPRequestHeader  int
+	HTTPResponseHeader int
+	// TCPHandshakeSegments is the number of empty segments exchanged to
+	// open a connection (SYN, SYN-ACK, ACK).
+	TCPHandshakeSegments int
+	// TLSHandshakeUp and TLSHandshakeDown are the handshake byte costs
+	// (ClientHello + key exchange up; ServerHello + certificate chain
+	// down).
+	TLSHandshakeUp   int
+	TLSHandshakeDown int
+	// AckEverySegments is how many data segments one pure ACK covers
+	// (delayed ACK).
+	AckEverySegments int
+	// CloseSegments is the FIN/ACK exchange cost in segments, split
+	// evenly between directions.
+	CloseSegments int
+}
+
+// DefaultParams returns the standard cost model used by the experiment
+// harness.
+func DefaultParams() Params {
+	return Params{
+		MSS:                  1460,
+		SegHeader:            66,
+		TLSRecordSize:        16 * 1024,
+		TLSRecordOverhead:    29,
+		HTTPRequestHeader:    420,
+		HTTPResponseHeader:   230,
+		TCPHandshakeSegments: 3,
+		TLSHandshakeUp:       1310,
+		TLSHandshakeDown:     4120,
+		AckEverySegments:     2,
+		CloseSegments:        4,
+	}
+}
+
+// FrameSize reports the on-the-wire cost of sending app application
+// bytes over an established connection in one direction, and the wire
+// size of the pure-ACK traffic it provokes on the reverse path.
+// segments is the number of TCP segments used.
+func (p Params) FrameSize(app int) (wire, ackWire, segments int) {
+	if app < 0 {
+		panic("wire: FrameSize with negative size")
+	}
+	records := (app + p.TLSRecordSize - 1) / p.TLSRecordSize
+	if records == 0 {
+		records = 1 // even an empty message is one record
+	}
+	tls := app + records*p.TLSRecordOverhead
+	segments = (tls + p.MSS - 1) / p.MSS
+	if segments == 0 {
+		segments = 1
+	}
+	wire = tls + segments*p.SegHeader
+	acks := (segments + p.AckEverySegments - 1) / p.AckEverySegments
+	ackWire = acks * p.SegHeader
+	return wire, ackWire, segments
+}
+
+// HandshakeRTTs is the number of round trips a fresh HTTPS connection
+// costs before the first request can be sent (TCP 3-way + TLS 1.2 full
+// handshake).
+const HandshakeRTTs = 3
+
+// Conn is a simulated HTTPS connection between a client and the cloud.
+// It tracks whether the connection is established and records every
+// transmission into the capture.
+type Conn struct {
+	params Params
+	cap    *capture.Capture
+	flow   capture.Flow // client→cloud orientation
+	open   bool
+
+	// Opens counts how many times the connection was (re)established —
+	// visible in tests and in the per-connection-overhead ablation.
+	Opens int
+}
+
+// NewConn returns a closed connection for the given client→cloud flow.
+func NewConn(params Params, cap *capture.Capture, flow capture.Flow) *Conn {
+	if cap == nil {
+		panic("wire: NewConn with nil capture")
+	}
+	return &Conn{params: params, cap: cap, flow: flow}
+}
+
+// Established reports whether the connection is currently open.
+func (c *Conn) Established() bool { return c.open }
+
+// Params returns the cost model in use.
+func (c *Conn) Params() Params { return c.params }
+
+// Open establishes the connection if needed, recording TCP and TLS
+// handshake traffic stamped at time at. It reports the wire bytes spent
+// in each direction (zero if already open).
+func (c *Conn) Open(at time.Duration) (up, down int) {
+	if c.open {
+		return 0, 0
+	}
+	c.open = true
+	c.Opens++
+	p := c.params
+	// TCP 3-way handshake: SYN up, SYN-ACK down, ACK up.
+	upSegs := (p.TCPHandshakeSegments + 1) / 2
+	downSegs := p.TCPHandshakeSegments - upSegs
+	up = upSegs * p.SegHeader
+	down = downSegs * p.SegHeader
+	// TLS handshake payloads ride on data segments.
+	hsUp, hsUpAck, segsUp := p.FrameSize(p.TLSHandshakeUp)
+	hsDown, hsDownAck, segsDown := p.FrameSize(p.TLSHandshakeDown)
+	up += hsUp + hsDownAck
+	down += hsDown + hsUpAck
+	c.cap.Record(capture.Packet{Time: at, Flow: c.flow, Dir: capture.Up,
+		Kind: capture.KindHandshake, Wire: up, App: 0, Segments: upSegs + segsUp})
+	c.cap.Record(capture.Packet{Time: at, Flow: c.flow.Reverse(), Dir: capture.Down,
+		Kind: capture.KindHandshake, Wire: down, App: 0, Segments: downSegs + segsDown})
+	return up, down
+}
+
+// Request performs one HTTP request/response exchange over the open
+// connection: upApp request-body bytes up, downApp response-body bytes
+// down, plus headers, TLS records, segment headers, and reverse-path
+// ACKs. kind classifies the payload (data vs control). It panics if the
+// connection is not established — callers must Open first, so handshake
+// costs are never silently omitted. It reports wire bytes per direction.
+func (c *Conn) Request(at time.Duration, upApp, downApp int, kind capture.Kind) (up, down int) {
+	if !c.open {
+		panic("wire: Request on closed connection")
+	}
+	p := c.params
+	reqWire, reqAck, reqSegs := p.FrameSize(upApp + p.HTTPRequestHeader)
+	respWire, respAck, respSegs := p.FrameSize(downApp + p.HTTPResponseHeader)
+	c.cap.Record(capture.Packet{Time: at, Flow: c.flow, Dir: capture.Up,
+		Kind: kind, Wire: reqWire, App: upApp, Segments: reqSegs})
+	c.cap.Record(capture.Packet{Time: at, Flow: c.flow.Reverse(), Dir: capture.Down,
+		Kind: kind, Wire: respWire, App: downApp, Segments: respSegs})
+	if reqAck > 0 {
+		c.cap.Record(capture.Packet{Time: at, Flow: c.flow.Reverse(), Dir: capture.Down,
+			Kind: capture.KindAck, Wire: reqAck, App: 0, Segments: reqAck / p.SegHeader})
+	}
+	if respAck > 0 {
+		c.cap.Record(capture.Packet{Time: at, Flow: c.flow, Dir: capture.Up,
+			Kind: capture.KindAck, Wire: respAck, App: 0, Segments: respAck / p.SegHeader})
+	}
+	return reqWire + respAck, respWire + reqAck
+}
+
+// Send transmits raw application bytes in one direction without HTTP
+// request/response semantics — used for custom sync protocols such as
+// Ubuntu One's storage protocol and for server push notifications.
+func (c *Conn) Send(at time.Duration, app int, dir capture.Direction, kind capture.Kind) (wire int) {
+	if !c.open {
+		panic("wire: Send on closed connection")
+	}
+	p := c.params
+	w, ack, segs := p.FrameSize(app)
+	flow := c.flow
+	if dir == capture.Down {
+		flow = flow.Reverse()
+	}
+	c.cap.Record(capture.Packet{Time: at, Flow: flow, Dir: dir, Kind: kind,
+		Wire: w, App: app, Segments: segs})
+	if ack > 0 {
+		rd := capture.Down
+		if dir == capture.Down {
+			rd = capture.Up
+		}
+		c.cap.Record(capture.Packet{Time: at, Flow: flow.Reverse(), Dir: rd,
+			Kind: capture.KindAck, Wire: ack, App: 0, Segments: ack / p.SegHeader})
+	}
+	return w
+}
+
+// Close tears the connection down, recording the FIN exchange. Closing
+// a closed connection is a no-op.
+func (c *Conn) Close(at time.Duration) {
+	if !c.open {
+		return
+	}
+	c.open = false
+	p := c.params
+	upSegs := p.CloseSegments / 2
+	downSegs := p.CloseSegments - upSegs
+	if upSegs > 0 {
+		c.cap.Record(capture.Packet{Time: at, Flow: c.flow, Dir: capture.Up,
+			Kind: capture.KindHandshake, Wire: upSegs * p.SegHeader, Segments: upSegs})
+	}
+	if downSegs > 0 {
+		c.cap.Record(capture.Packet{Time: at, Flow: c.flow.Reverse(), Dir: capture.Down,
+			Kind: capture.KindHandshake, Wire: downSegs * p.SegHeader, Segments: downSegs})
+	}
+}

@@ -1,0 +1,233 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudsync/internal/capture"
+)
+
+var flow = capture.Flow{Src: "client", Dst: "cloud"}
+
+func newConn(c *capture.Capture) *Conn {
+	return NewConn(DefaultParams(), c, flow)
+}
+
+func TestFrameSizeSmall(t *testing.T) {
+	p := DefaultParams()
+	wire, ack, segs := p.FrameSize(100)
+	if segs != 1 {
+		t.Fatalf("segments = %d, want 1", segs)
+	}
+	if wire != 100+p.TLSRecordOverhead+p.SegHeader {
+		t.Fatalf("wire = %d", wire)
+	}
+	if ack != p.SegHeader {
+		t.Fatalf("ack = %d", ack)
+	}
+}
+
+func TestFrameSizeEmpty(t *testing.T) {
+	p := DefaultParams()
+	wire, _, segs := p.FrameSize(0)
+	if segs != 1 || wire != p.TLSRecordOverhead+p.SegHeader {
+		t.Fatalf("empty frame: wire=%d segs=%d", wire, segs)
+	}
+}
+
+func TestFrameSizeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FrameSize(-1) did not panic")
+		}
+	}()
+	DefaultParams().FrameSize(-1)
+}
+
+func TestFrameSizeLarge(t *testing.T) {
+	p := DefaultParams()
+	app := 1 << 20
+	wire, ack, segs := p.FrameSize(app)
+	records := (app + p.TLSRecordSize - 1) / p.TLSRecordSize
+	wantTLS := app + records*p.TLSRecordOverhead
+	wantSegs := (wantTLS + p.MSS - 1) / p.MSS
+	if segs != wantSegs {
+		t.Fatalf("segments = %d, want %d", segs, wantSegs)
+	}
+	if wire != wantTLS+segs*p.SegHeader {
+		t.Fatalf("wire = %d", wire)
+	}
+	// Overhead for a 1 MB transfer should be a few percent, not more.
+	overhead := float64(wire+ack-app) / float64(app)
+	if overhead < 0.03 || overhead > 0.09 {
+		t.Fatalf("1MB overhead fraction = %.4f, want ~0.05", overhead)
+	}
+}
+
+func TestOpenRecordsHandshake(t *testing.T) {
+	cap := capture.New()
+	c := newConn(cap)
+	if c.Established() {
+		t.Fatal("new connection should be closed")
+	}
+	up, down := c.Open(0)
+	if !c.Established() {
+		t.Fatal("Open did not establish")
+	}
+	if c.Opens != 1 {
+		t.Fatalf("Opens = %d", c.Opens)
+	}
+	if up <= 0 || down <= 0 {
+		t.Fatalf("handshake bytes = (%d,%d)", up, down)
+	}
+	// TLS cert chain dominates: down should exceed up.
+	if down <= up {
+		t.Fatalf("handshake down (%d) should exceed up (%d)", down, up)
+	}
+	if got := cap.KindBytes(capture.KindHandshake); got != int64(up+down) {
+		t.Fatalf("handshake capture = %d, want %d", got, up+down)
+	}
+	// Everything is overhead: no app payload.
+	if cap.AppBytes() != 0 {
+		t.Fatalf("handshake app bytes = %d", cap.AppBytes())
+	}
+	// Re-open is free.
+	up2, down2 := c.Open(0)
+	if up2 != 0 || down2 != 0 || c.Opens != 1 {
+		t.Fatal("re-open of established connection should be a no-op")
+	}
+}
+
+func TestRequestOnClosedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Request on closed conn did not panic")
+		}
+	}()
+	newConn(capture.New()).Request(0, 10, 10, capture.KindData)
+}
+
+func TestSendOnClosedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send on closed conn did not panic")
+		}
+	}()
+	newConn(capture.New()).Send(0, 10, capture.Up, capture.KindData)
+}
+
+func TestRequestAccounting(t *testing.T) {
+	cap := capture.New()
+	c := newConn(cap)
+	c.Open(0)
+	m := cap.Mark()
+	up, down := c.Request(0, 1000, 200, capture.KindData)
+	gotUp, gotDown, app := cap.Since(m)
+	if gotUp != int64(up) || gotDown != int64(down) {
+		t.Fatalf("capture (%d,%d) != returned (%d,%d)", gotUp, gotDown, up, down)
+	}
+	if app != 1200 {
+		t.Fatalf("app bytes = %d, want 1200", app)
+	}
+	if up <= 1000 || down <= 200 {
+		t.Fatalf("framing added nothing: up=%d down=%d", up, down)
+	}
+}
+
+func TestSendDirections(t *testing.T) {
+	for _, dir := range []capture.Direction{capture.Up, capture.Down} {
+		cap := capture.New()
+		c := newConn(cap)
+		c.Open(0)
+		m := cap.Mark()
+		c.Send(0, 5000, dir, capture.KindControl)
+		up, down, app := cap.Since(m)
+		if app != 5000 {
+			t.Fatalf("dir %v: app = %d", dir, app)
+		}
+		if dir == capture.Up && up <= down {
+			t.Fatalf("up send: up=%d down=%d", up, down)
+		}
+		if dir == capture.Down && down <= up {
+			t.Fatalf("down send: up=%d down=%d", up, down)
+		}
+	}
+}
+
+func TestCloseRecordsFin(t *testing.T) {
+	cap := capture.New()
+	c := newConn(cap)
+	c.Open(0)
+	before := cap.TotalBytes()
+	c.Close(0)
+	if c.Established() {
+		t.Fatal("Close did not close")
+	}
+	if cap.TotalBytes() <= before {
+		t.Fatal("Close recorded no traffic")
+	}
+	after := cap.TotalBytes()
+	c.Close(0) // double close is a no-op
+	if cap.TotalBytes() != after {
+		t.Fatal("double Close recorded traffic")
+	}
+}
+
+func TestReopenCountsHandshakeAgain(t *testing.T) {
+	cap := capture.New()
+	c := newConn(cap)
+	c.Open(0)
+	c.Close(0)
+	c.Open(0)
+	if c.Opens != 2 {
+		t.Fatalf("Opens = %d, want 2", c.Opens)
+	}
+}
+
+func TestNewConnNilCapturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewConn(nil capture) did not panic")
+		}
+	}()
+	NewConn(DefaultParams(), nil, flow)
+}
+
+// Property: framing is monotone (more app bytes never costs less wire)
+// and overhead per byte shrinks as payload grows.
+func TestPropertyFrameMonotone(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint32) bool {
+		x, y := int(a%(1<<22)), int(b%(1<<22))
+		if x > y {
+			x, y = y, x
+		}
+		wx, ax, _ := p.FrameSize(x)
+		wy, ay, _ := p.FrameSize(y)
+		return wx+ax <= wy+ay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: wire size always ≥ app size, and overhead fraction for
+// ≥64 KB payloads stays below 10%.
+func TestPropertyOverheadBounds(t *testing.T) {
+	p := DefaultParams()
+	f := func(a uint32) bool {
+		app := int(a % (8 << 20))
+		w, ack, _ := p.FrameSize(app)
+		if w < app {
+			return false
+		}
+		if app >= 64<<10 {
+			frac := float64(w+ack-app) / float64(app)
+			return frac < 0.10
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
