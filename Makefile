@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench tuebench
+
+# check is the full gate: compile everything, vet, and run the test
+# suite under the race detector (the experiment layer is concurrent).
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ ./...
+
+tuebench:
+	$(GO) run ./cmd/tuebench -quick

@@ -283,6 +283,19 @@ func BenchmarkTraceReplay(b *testing.B) {
 	b.ReportMetric(tue, "TUE(replay)")
 }
 
+// BenchmarkTraceReplayAll replays the trace under all six services plus
+// the reference design — the seven independent simulations fan out
+// across the experiment worker pool.
+func BenchmarkTraceReplayAll(b *testing.B) {
+	recs := trace.Generate(trace.GenConfig{Seed: 1, Scale: 0.01})
+	var tue float64
+	for i := 0; i < b.N; i++ {
+		results := core.TraceReplayAll(recs, 100)
+		tue = results[0].TUE
+	}
+	b.ReportMetric(tue, "TUE(first)")
+}
+
 // BenchmarkChunkingAblation regenerates the chunking-discipline
 // ablation (fixed vs content-defined vs rsync under insertions).
 func BenchmarkChunkingAblation(b *testing.B) {

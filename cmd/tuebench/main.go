@@ -7,6 +7,7 @@
 //	tuebench                     # run everything (full parameter sweeps)
 //	tuebench -quick              # reduced sweeps
 //	tuebench -experiment fig6    # one artifact
+//	tuebench -workers 8          # experiment worker-pool size (1 = sequential)
 //	tuebench -list               # list artifact names
 package main
 
@@ -20,6 +21,7 @@ import (
 
 	"cloudsync/internal/core"
 	"cloudsync/internal/netem"
+	"cloudsync/internal/parallel"
 	"cloudsync/internal/service"
 	"cloudsync/internal/trace"
 )
@@ -109,9 +111,9 @@ var experiments = []experiment{
 	}},
 	{"defer", "fixed-deferment inference (§ 6.1)", func(c config) string {
 		measured := map[service.Name]time.Duration{}
-		for _, n := range service.All() {
-			if t, ok := core.InferDeferment(n); ok {
-				measured[n] = t
+		for _, d := range core.InferDeferments(service.All()) {
+			if d.Detected {
+				measured[d.Service] = d.Delay
 			}
 		}
 		return core.RenderDeferments(measured)
@@ -173,13 +175,15 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		name  = flag.String("experiment", "all", "artifact to regenerate (see -list)")
-		quick = flag.Bool("quick", false, "reduced parameter sweeps")
-		scale = flag.Float64("scale", 0.05, "trace scale (1.0 = full 222,632 files)")
-		seed  = flag.Int64("seed", 1, "trace generation seed")
-		list  = flag.Bool("list", false, "list artifact names and exit")
+		name    = flag.String("experiment", "all", "artifact to regenerate (see -list)")
+		quick   = flag.Bool("quick", false, "reduced parameter sweeps")
+		scale   = flag.Float64("scale", 0.05, "trace scale (1.0 = full 222,632 files)")
+		seed    = flag.Int64("seed", 1, "trace generation seed")
+		workers = flag.Int("workers", 0, "experiment worker-pool size (0 = GOMAXPROCS; 1 = sequential)")
+		list    = flag.Bool("list", false, "list artifact names and exit")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if *list {
 		for _, e := range experiments {
@@ -222,5 +226,6 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
 		ran++
 	}
-	fmt.Printf("regenerated %d artifact(s) in %v\n", ran, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("regenerated %d artifact(s) in %v (%d worker(s))\n",
+		ran, time.Since(start).Round(time.Millisecond), parallel.Workers())
 }

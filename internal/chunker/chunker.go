@@ -75,6 +75,26 @@ func FingerprintReader(r io.Reader, blockSize int) ([][md5.Size]byte, error) {
 	}
 }
 
+// Boundaries returns the fixed-size block layout of a file of the
+// given size without fingerprinting anything: the same half-open ranges
+// Fixed would hash. Callers that only need the geometry (chunk-object
+// stores, dirty-range intersection) use this to skip the MD5 work.
+func Boundaries(size int64, blockSize int) []Range {
+	checkBlockSize(blockSize)
+	if size <= 0 {
+		return nil
+	}
+	out := make([]Range, 0, (size+int64(blockSize)-1)/int64(blockSize))
+	for off := int64(0); off < size; off += int64(blockSize) {
+		n := int64(blockSize)
+		if off+n > size {
+			n = size - off
+		}
+		out = append(out, Range{Off: off, Len: n})
+	}
+	return out
+}
+
 // NumBlocks reports how many fixed-size blocks a file of the given size
 // splits into.
 func NumBlocks(size int64, blockSize int) int64 {
@@ -122,6 +142,12 @@ func Normalize(ranges []Range) []Range {
 // computes, without materializing content, exactly what the rsync
 // implementation in internal/delta would resend.
 func DirtyBlocks(size int64, blockSize int, ranges []Range) int64 {
+	return dirtyBlocksNorm(size, blockSize, Normalize(ranges))
+}
+
+// dirtyBlocksNorm is DirtyBlocks on pre-normalized ranges, so callers
+// that need several passes (DirtyBytes) normalize exactly once.
+func dirtyBlocksNorm(size int64, blockSize int, norm []Range) int64 {
 	checkBlockSize(blockSize)
 	if size <= 0 {
 		return 0
@@ -129,7 +155,7 @@ func DirtyBlocks(size int64, blockSize int, ranges []Range) int64 {
 	bs := int64(blockSize)
 	var total int64
 	prevLast := int64(-1) // highest block index already counted
-	for _, r := range Normalize(ranges) {
+	for _, r := range norm {
 		if r.Off >= size {
 			break // normalized ranges are sorted
 		}
@@ -153,7 +179,8 @@ func DirtyBlocks(size int64, blockSize int, ranges []Range) int64 {
 // DirtyBytes reports the byte volume of the dirty blocks: blocks × block
 // size, clamped to the file size for the trailing block.
 func DirtyBytes(size int64, blockSize int, ranges []Range) int64 {
-	n := DirtyBlocks(size, blockSize, ranges)
+	norm := Normalize(ranges)
+	n := dirtyBlocksNorm(size, blockSize, norm)
 	if n == 0 {
 		return 0
 	}
@@ -163,21 +190,26 @@ func DirtyBytes(size int64, blockSize int, ranges []Range) int64 {
 	// full block for it.
 	lastBlockStart := ((size - 1) / bs) * bs
 	lastShort := size - lastBlockStart
-	if lastShort < bs && blockDirty(size, blockSize, ranges, lastBlockStart/bs) {
+	if lastShort < bs && blockDirty(size, blockSize, norm, lastBlockStart/bs) {
 		full = full - bs + lastShort
 	}
 	return full
 }
 
-func blockDirty(size int64, blockSize int, ranges []Range, idx int64) bool {
+// blockDirty reports whether block idx intersects any of the ranges,
+// which must already be normalized (sorted, merged) — re-normalizing
+// here made DirtyBytes quadratic-ish on many-range files.
+func blockDirty(size int64, blockSize int, norm []Range, idx int64) bool {
 	bs := int64(blockSize)
 	start, end := idx*bs, (idx+1)*bs
 	if end > size {
 		end = size
 	}
-	for _, r := range Normalize(ranges) {
-		rEnd := r.Off + r.Len
-		if r.Off < end && rEnd > start {
+	for _, r := range norm {
+		if r.Off >= end {
+			return false // sorted: nothing later can intersect
+		}
+		if r.Off+r.Len > start {
 			return true
 		}
 	}

@@ -120,11 +120,12 @@ func (c *Cloud) File(user, name string) (*Entry, bool) {
 }
 
 // fileFingerprint derives the full-file fingerprint of a blob: real MD5
-// for literal content, identity-based MD5 for descriptor blobs (same
-// descriptor ⇒ same content ⇒ same fingerprint).
+// for literal content (memoized on the blob, so the probe and the
+// commit of one upload hash it once), identity-based MD5 for descriptor
+// blobs (same descriptor ⇒ same content ⇒ same fingerprint).
 func fileFingerprint(blob *content.Blob) dedup.Fingerprint {
 	if blob.Kind() == content.KindBytes {
-		return md5.Sum(blob.Bytes())
+		return blob.MD5()
 	}
 	return md5.Sum([]byte(blob.Identity()))
 }
@@ -138,12 +139,9 @@ func fileFingerprint(blob *content.Blob) dedup.Fingerprint {
 // matters when a frequently-appended file is probed on every sync.
 func blockFingerprints(blob *content.Blob, blockSize int) []dedup.Fingerprint {
 	if blob.Kind() == content.KindBytes {
-		blocks := chunker.Fixed(blob.Bytes(), blockSize)
-		out := make([]dedup.Fingerprint, len(blocks))
-		for i, b := range blocks {
-			out[i] = b.Sum
-		}
-		return out
+		// content memoizes the sums per (blob, blockSize), so the
+		// probe/commit pair of one upload chunks the content once.
+		return content.BlockFingerprints(blob, blockSize)
 	}
 	n := chunker.NumBlocks(blob.Size(), blockSize)
 	out := make([]dedup.Fingerprint, n)

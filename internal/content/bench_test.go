@@ -1,0 +1,82 @@
+package content
+
+import (
+	"testing"
+)
+
+func BenchmarkMaterializeRandom(b *testing.B) {
+	const size = 4 << 20
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		blob := Random(size, int64(i))
+		if len(blob.Bytes()) != size {
+			b.Fatal("short materialization")
+		}
+	}
+}
+
+func BenchmarkMaterializeText(b *testing.B) {
+	const size = 4 << 20
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		blob := Text(size, int64(i))
+		if len(blob.Bytes()) != size {
+			b.Fatal("short materialization")
+		}
+	}
+}
+
+// BenchmarkMD5Cold hashes a distinct blob every iteration: the
+// streaming path with a pooled buffer, no cache reuse.
+func BenchmarkMD5Cold(b *testing.B) {
+	const size = 4 << 20
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		ResetFingerprintCache()
+		blob := Random(size, 7)
+		_ = blob.MD5()
+	}
+}
+
+// BenchmarkMD5Cached re-hashes the same descriptor identity; after the
+// first iteration every call is an LRU hit.
+func BenchmarkMD5Cached(b *testing.B) {
+	const size = 4 << 20
+	ResetFingerprintCache()
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := Random(size, 7)
+		_ = blob.MD5()
+	}
+}
+
+// BenchmarkBlockFingerprintsCold computes per-block MD5s of a distinct
+// blob identity every iteration.
+func BenchmarkBlockFingerprintsCold(b *testing.B) {
+	const size = 4 << 20
+	b.SetBytes(size)
+	for i := 0; i < b.N; i++ {
+		ResetFingerprintCache()
+		blob := Random(size, 7)
+		if fps := BlockFingerprints(blob, 512<<10); len(fps) == 0 {
+			b.Fatal("no fingerprints")
+		}
+	}
+}
+
+// BenchmarkBlockFingerprintsCached hits the LRU on every iteration
+// after the first — the probe/commit pattern of an upload, and the
+// repeated uploads of one grid cell's shared content.
+func BenchmarkBlockFingerprintsCached(b *testing.B) {
+	const size = 4 << 20
+	ResetFingerprintCache()
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := Random(size, 7)
+		if fps := BlockFingerprints(blob, 512<<10); len(fps) == 0 {
+			b.Fatal("no fingerprints")
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaterializeLimit is the largest blob Bytes will materialize. It keeps
@@ -54,12 +55,20 @@ func (k Kind) String() string {
 	}
 }
 
-// Blob is an immutable content descriptor.
+// Blob is an immutable content descriptor. Its lazy caches (the
+// materialized bytes and the fingerprints of fingerprint.go) are
+// guarded by mu, so a blob shared across concurrent experiment cells
+// is safe to read from every goroutine.
 type Blob struct {
 	kind Kind
 	size int64
 	seed int64
-	data []byte // literal data for KindBytes; cache for others
+
+	mu        sync.Mutex
+	data      []byte // literal data for KindBytes; cache for others
+	sum       [md5.Size]byte
+	sumOK     bool
+	blockSums map[int][][md5.Size]byte
 }
 
 // Random returns an incompressible blob of the given size. Blobs with
@@ -161,6 +170,12 @@ func (b *Blob) Concat(other *Blob) *Blob {
 // must not mutate it. Bytes panics if the blob exceeds MaterializeLimit
 // — experiments at that scale must work from the descriptor.
 func (b *Blob) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytesLocked()
+}
+
+func (b *Blob) bytesLocked() []byte {
 	if b.data != nil || b.size == 0 {
 		if b.data == nil {
 			b.data = []byte{}
@@ -205,8 +220,7 @@ func (b *Blob) Reader() io.Reader {
 // arbitrarily large descriptor blobs.
 func (b *Blob) Identity() string {
 	if b.kind == KindBytes {
-		sum := md5.Sum(b.data)
-		return fmt.Sprintf("md5:%x", sum)
+		return fmt.Sprintf("md5:%x", b.MD5())
 	}
 	return fmt.Sprintf("gen:%d:%d:%d", b.kind, b.seed, b.size)
 }

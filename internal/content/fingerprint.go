@@ -1,0 +1,235 @@
+// Fingerprinting: MD5 sums of blob content, whole-file and per
+// fixed-size block, with two layers of memoization.
+//
+// Every cell of the experiment grid rebuilds its synthetic files, and
+// the engine fingerprints the same content repeatedly — a probe upload
+// hashes a blob once for the dedup probe and again at commit; a grid
+// re-creates the same deterministic blob for every service. Literal
+// blobs memoize their sums on the blob itself (guarded by the blob
+// mutex); descriptor blobs — whose content is fully determined by
+// (kind, seed, size) — share a process-wide LRU keyed by
+// (kind, seed, size, blockSize), so re-chunking the same deterministic
+// content in another cell is a map hit instead of a generate+hash pass.
+// Materialization for hashing streams through pooled buffers
+// (sync.Pool), so fingerprinting never allocates per call in steady
+// state and works beyond MaterializeLimit.
+package content
+
+import (
+	"container/list"
+	"crypto/md5"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// fpKey identifies a cached fingerprint computation. blockSize 0 is the
+// whole-content MD5; positive values are fixed-block fingerprints.
+type fpKey struct {
+	kind      Kind
+	seed      int64
+	size      int64
+	blockSize int
+}
+
+// fingerprintCache is a concurrency-safe LRU over descriptor-blob
+// fingerprints. Capacity is counted in entries; one entry holds every
+// block sum of one (blob, blockSize) pairing.
+type fingerprintCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[fpKey]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type fpEntry struct {
+	key  fpKey
+	sums [][md5.Size]byte
+}
+
+// DefaultFingerprintCacheCapacity bounds the process-wide cache. At 16
+// bytes per block sum the worst case (4096 entries of a 64 MB blob at
+// 128 KB blocks) stays under 35 MB; typical grids hold a few hundred
+// small entries.
+const DefaultFingerprintCacheCapacity = 4096
+
+var fpCache = &fingerprintCache{
+	capacity: DefaultFingerprintCacheCapacity,
+	ll:       list.New(),
+	entries:  make(map[fpKey]*list.Element),
+}
+
+func (c *fingerprintCache) get(k fpKey) ([][md5.Size]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*fpEntry).sums, true
+}
+
+func (c *fingerprintCache) put(k fpKey, sums [][md5.Size]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		// A concurrent caller computed the same key; the values are
+		// identical by construction, keep the resident one.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.ll.PushFront(&fpEntry{key: k, sums: sums})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*fpEntry).key)
+	}
+}
+
+// FingerprintCacheStats reports cumulative hit/miss counts and the
+// current entry count of the descriptor fingerprint cache.
+func FingerprintCacheStats() (hits, misses int64, entries int) {
+	fpCache.mu.Lock()
+	entries = fpCache.ll.Len()
+	fpCache.mu.Unlock()
+	return fpCache.hits.Load(), fpCache.misses.Load(), entries
+}
+
+// ResetFingerprintCache drops every cached fingerprint and zeroes the
+// counters (for tests and benchmarks).
+func ResetFingerprintCache() {
+	fpCache.mu.Lock()
+	defer fpCache.mu.Unlock()
+	fpCache.ll.Init()
+	fpCache.entries = make(map[fpKey]*list.Element)
+	fpCache.hits.Store(0)
+	fpCache.misses.Store(0)
+}
+
+// hashBuffers pools the scratch buffers fingerprinting streams blob
+// content through, so repeated hashing does not re-allocate block-sized
+// slices. Buffers are grown to the largest requested block size and
+// reused across sizes.
+var hashBuffers = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256<<10)
+		return &b
+	},
+}
+
+func getHashBuffer(n int) *[]byte {
+	bp := hashBuffers.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// MD5 returns the MD5 of the blob's full content. Literal blobs hash
+// their bytes once and memoize the sum; descriptor blobs stream their
+// generator through a pooled buffer and memoize both on the blob and in
+// the process-wide cache. Unlike Bytes, MD5 works beyond
+// MaterializeLimit.
+func (b *Blob) MD5() [md5.Size]byte {
+	b.mu.Lock()
+	if b.sumOK {
+		defer b.mu.Unlock()
+		return b.sum
+	}
+	if b.kind == KindBytes {
+		defer b.mu.Unlock()
+		b.sum = md5.Sum(b.data)
+		b.sumOK = true
+		return b.sum
+	}
+	b.mu.Unlock()
+
+	key := fpKey{kind: b.kind, seed: b.seed, size: b.size}
+	if sums, ok := fpCache.get(key); ok {
+		return b.rememberSum(sums[0])
+	}
+	h := md5.New()
+	bp := getHashBuffer(256 << 10)
+	defer hashBuffers.Put(bp)
+	if _, err := io.CopyBuffer(h, b.Reader(), *bp); err != nil {
+		panic(fmt.Sprintf("content: hashing %v: %v", b, err))
+	}
+	var sum [md5.Size]byte
+	h.Sum(sum[:0])
+	fpCache.put(key, [][md5.Size]byte{sum})
+	return b.rememberSum(sum)
+}
+
+func (b *Blob) rememberSum(sum [md5.Size]byte) [md5.Size]byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sum, b.sumOK = sum, true
+	return sum
+}
+
+// BlockFingerprints returns the MD5 of every fixed-size block of the
+// blob's content (the final block may be short; an empty blob has no
+// blocks). The result is shared with the caches — callers must not
+// mutate it. Descriptor blobs hit the process-wide LRU keyed by
+// (kind, seed, size, blockSize); literal blobs memoize per blob and
+// block size.
+func BlockFingerprints(b *Blob, blockSize int) [][md5.Size]byte {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("content: invalid block size %d", blockSize))
+	}
+	if b.size == 0 {
+		return nil
+	}
+
+	if b.kind == KindBytes {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if sums, ok := b.blockSums[blockSize]; ok {
+			return sums
+		}
+		sums := make([][md5.Size]byte, 0, (len(b.data)+blockSize-1)/blockSize)
+		for off := 0; off < len(b.data); off += blockSize {
+			end := off + blockSize
+			if end > len(b.data) {
+				end = len(b.data)
+			}
+			sums = append(sums, md5.Sum(b.data[off:end]))
+		}
+		if b.blockSums == nil {
+			b.blockSums = make(map[int][][md5.Size]byte)
+		}
+		b.blockSums[blockSize] = sums
+		return sums
+	}
+
+	key := fpKey{kind: b.kind, seed: b.seed, size: b.size, blockSize: blockSize}
+	if sums, ok := fpCache.get(key); ok {
+		return sums
+	}
+	n := (b.size + int64(blockSize) - 1) / int64(blockSize)
+	sums := make([][md5.Size]byte, 0, n)
+	bp := getHashBuffer(blockSize)
+	defer hashBuffers.Put(bp)
+	r := b.Reader()
+	for {
+		n, err := io.ReadFull(r, *bp)
+		if n > 0 {
+			sums = append(sums, md5.Sum((*bp)[:n]))
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			panic(fmt.Sprintf("content: fingerprinting %v: %v", b, err))
+		}
+	}
+	fpCache.put(key, sums)
+	return sums
+}

@@ -1,0 +1,146 @@
+package content
+
+import (
+	"crypto/md5"
+	"sync"
+	"testing"
+)
+
+// TestBlockFingerprintsMatchDirectHashing checks every kind against a
+// straight materialize-and-hash reference.
+func TestBlockFingerprintsMatchDirectHashing(t *testing.T) {
+	ResetFingerprintCache()
+	blobs := []*Blob{
+		Random(100<<10, 7),
+		Text(33<<10, 8),
+		Zeros(5000),
+		FromBytes([]byte("hello fingerprint world")),
+		Random(8<<10, 9), // exact multiple of the block size
+	}
+	const bs = 8 << 10
+	for _, b := range blobs {
+		want := fixedSums(b.Bytes(), bs)
+		got := BlockFingerprints(b, bs)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d blocks, want %d", b, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v block %d: sum mismatch", b, i)
+			}
+		}
+		if full := b.MD5(); full != md5.Sum(b.Bytes()) {
+			t.Fatalf("%v: MD5 mismatch", b)
+		}
+	}
+	if BlockFingerprints(Zeros(0), bs) != nil {
+		t.Fatal("empty blob should have no blocks")
+	}
+}
+
+func fixedSums(data []byte, bs int) [][md5.Size]byte {
+	var out [][md5.Size]byte
+	for off := 0; off < len(data); off += bs {
+		end := off + bs
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, md5.Sum(data[off:end]))
+	}
+	return out
+}
+
+// TestFingerprintCacheHitsAcrossBlobInstances is the grid scenario: two
+// distinct Blob values describing the same deterministic content share
+// one computation.
+func TestFingerprintCacheHitsAcrossBlobInstances(t *testing.T) {
+	ResetFingerprintCache()
+	a := BlockFingerprints(Random(64<<10, 42), 4<<10)
+	b := BlockFingerprints(Random(64<<10, 42), 4<<10)
+	hits, misses, entries := FingerprintCacheStats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("stats = %d hits / %d misses / %d entries, want 1/1/1", hits, misses, entries)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("second lookup did not return the cached slice")
+	}
+	// Different block size, seed, or size are distinct entries.
+	BlockFingerprints(Random(64<<10, 42), 8<<10)
+	BlockFingerprints(Random(64<<10, 43), 4<<10)
+	BlockFingerprints(Random(32<<10, 42), 4<<10)
+	if _, _, entries := FingerprintCacheStats(); entries != 4 {
+		t.Fatalf("entries = %d, want 4 distinct keys", entries)
+	}
+}
+
+func TestFingerprintCacheEviction(t *testing.T) {
+	ResetFingerprintCache()
+	old := fpCache.capacity
+	fpCache.capacity = 3
+	defer func() { fpCache.capacity = old; ResetFingerprintCache() }()
+
+	for seed := int64(0); seed < 5; seed++ {
+		BlockFingerprints(Random(1<<10, seed), 512)
+	}
+	if _, _, entries := FingerprintCacheStats(); entries != 3 {
+		t.Fatalf("entries = %d, want capacity 3", entries)
+	}
+	// Seed 0 and 1 were evicted; seed 4 is resident.
+	BlockFingerprints(Random(1<<10, 4), 512)
+	hits, _, _ := FingerprintCacheStats()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (most recent entry resident)", hits)
+	}
+	BlockFingerprints(Random(1<<10, 0), 512)
+	if h, _, _ := FingerprintCacheStats(); h != 1 {
+		t.Fatalf("evicted entry unexpectedly hit (hits = %d)", h)
+	}
+}
+
+// TestLiteralBlobMemoization: literal content cannot use the
+// descriptor cache but memoizes on the blob itself.
+func TestLiteralBlobMemoization(t *testing.T) {
+	ResetFingerprintCache()
+	b := FromBytes(make([]byte, 100<<10))
+	s1 := BlockFingerprints(b, 4<<10)
+	s2 := BlockFingerprints(b, 4<<10)
+	if &s1[0] != &s2[0] {
+		t.Fatal("literal block sums not memoized per blob")
+	}
+	if _, misses, _ := FingerprintCacheStats(); misses != 0 {
+		t.Fatal("literal blobs must not touch the descriptor cache")
+	}
+	if b.MD5() != b.MD5() {
+		t.Fatal("full MD5 not stable")
+	}
+}
+
+// TestConcurrentFingerprinting hammers one key and one blob from many
+// goroutines; run under -race this is the determinism safety net for
+// the parallel experiment grid.
+func TestConcurrentFingerprinting(t *testing.T) {
+	ResetFingerprintCache()
+	shared := Random(256<<10, 99)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				BlockFingerprints(Random(256<<10, 99), 16<<10)
+				BlockFingerprints(shared, 16<<10)
+				shared.MD5()
+				shared.Bytes()
+				shared.Identity()
+			}
+		}()
+	}
+	wg.Wait()
+	want := fixedSums(shared.Bytes(), 16<<10)
+	got := BlockFingerprints(shared, 16<<10)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("block %d corrupted under concurrency", i)
+		}
+	}
+}

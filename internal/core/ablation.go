@@ -6,6 +6,7 @@ import (
 	"cloudsync/internal/chunker"
 	"cloudsync/internal/content"
 	"cloudsync/internal/dedup"
+	"cloudsync/internal/parallel"
 	"cloudsync/internal/store"
 	"cloudsync/internal/trace"
 )
@@ -35,11 +36,12 @@ func MidLayerAblation(fileSize int64, modifications int) []MidLayerResult {
 			return &store.ChunkObjectLayer{Store: r, ChunkSize: 64 << 10}
 		},
 	}
-	var out []MidLayerResult
-	for _, mk := range layers {
+	// One shared seed: all three layers process the identical workload.
+	seed := nextSeed()
+	return parallel.Map(layers, func(_ int, mk func(*store.REST) store.MidLayer) MidLayerResult {
 		rest := store.NewREST()
 		layer := mk(rest)
-		blob := content.Random(fileSize, nextSeed())
+		blob := content.Random(fileSize, seed)
 		if _, err := layer.Create("doc", blob); err != nil {
 			panic(err)
 		}
@@ -56,9 +58,8 @@ func MidLayerAblation(fileSize int64, modifications int) []MidLayerResult {
 		if _, _, err := layer.Read("doc"); err != nil {
 			panic(err)
 		}
-		out = append(out, MidLayerResult{Layer: layer.Name(), Stats: rest.Stats()})
-	}
-	return out
+		return MidLayerResult{Layer: layer.Name(), Stats: rest.Stats()}
+	})
 }
 
 // AblationCell is one row of the § 5.2 compression × deduplication
@@ -89,57 +90,66 @@ func CompressDedupAblation(recs []trace.Record, blockSize int) []AblationCell {
 	if blockSize <= 0 {
 		panic("core: CompressDedupAblation requires a block size")
 	}
-	var out []AblationCell
+	type combo struct {
+		compression bool
+		gran        dedup.Granularity
+	}
+	var combos []combo
 	for _, compression := range []bool{false, true} {
 		for _, gran := range []dedup.Granularity{dedup.None, dedup.FullFile, dedup.Block} {
-			cell := AblationCell{Compression: compression, Dedup: gran}
-			seenFiles := make(map[dedup.Fingerprint]bool)
-			seenBlocks := make(map[dedup.Fingerprint]bool)
-			for _, r := range recs {
-				wire := r.OriginalSize
-				if compression {
-					wire = r.CompressedSize
-				}
-				switch gran {
-				case dedup.None:
-					cell.Traffic += wire
-				case dedup.FullFile:
-					// Full-file dedup fingerprints the (possibly
-					// compressed) upload as-is: no decompression ever.
-					fp := r.FullHash()
-					if seenFiles[fp] {
-						cell.Traffic += metaPerSkip
-						continue
-					}
-					seenFiles[fp] = true
-					cell.Traffic += wire
-				case dedup.Block:
-					// Block dedup must fingerprint raw content blocks;
-					// a compressed upload has to be decompressed first.
-					n := r.NumBlocks(blockSize)
-					var missing int64
-					for idx := int64(0); idx < n; idx++ {
-						fp := r.BlockHash(blockSize, idx)
-						if !seenBlocks[fp] {
-							seenBlocks[fp] = true
-							missing++
-						}
-					}
-					if n > 0 {
-						cell.Traffic += wire * missing / n
-					}
-					if missing == 0 {
-						cell.Traffic += metaPerSkip
-					}
-					if compression {
-						cell.DecompressBytes += r.OriginalSize
-					}
-				}
-			}
-			out = append(out, cell)
+			combos = append(combos, combo{compression: compression, gran: gran})
 		}
 	}
-	return out
+	// Each combination keeps its own seen-sets and only reads the trace
+	// records (BlockHash/FullHash are pure), so the six cells run on the
+	// worker pool.
+	return parallel.Map(combos, func(_ int, c combo) AblationCell {
+		cell := AblationCell{Compression: c.compression, Dedup: c.gran}
+		seenFiles := make(map[dedup.Fingerprint]bool)
+		seenBlocks := make(map[dedup.Fingerprint]bool)
+		for _, r := range recs {
+			wire := r.OriginalSize
+			if c.compression {
+				wire = r.CompressedSize
+			}
+			switch c.gran {
+			case dedup.None:
+				cell.Traffic += wire
+			case dedup.FullFile:
+				// Full-file dedup fingerprints the (possibly
+				// compressed) upload as-is: no decompression ever.
+				fp := r.FullHash()
+				if seenFiles[fp] {
+					cell.Traffic += metaPerSkip
+					continue
+				}
+				seenFiles[fp] = true
+				cell.Traffic += wire
+			case dedup.Block:
+				// Block dedup must fingerprint raw content blocks;
+				// a compressed upload has to be decompressed first.
+				n := r.NumBlocks(blockSize)
+				var missing int64
+				for idx := int64(0); idx < n; idx++ {
+					fp := r.BlockHash(blockSize, idx)
+					if !seenBlocks[fp] {
+						seenBlocks[fp] = true
+						missing++
+					}
+				}
+				if n > 0 {
+					cell.Traffic += wire * missing / n
+				}
+				if missing == 0 {
+					cell.Traffic += metaPerSkip
+				}
+				if c.compression {
+					cell.DecompressBytes += r.OriginalSize
+				}
+			}
+		}
+		return cell
+	})
 }
 
 // Fig2Points are the byte values at which the Fig. 2 CDFs are

@@ -8,6 +8,7 @@ import (
 	"cloudsync/internal/dedup"
 	"cloudsync/internal/delta"
 	"cloudsync/internal/metrics"
+	"cloudsync/internal/parallel"
 )
 
 // ChunkingCell is one row of the chunking-discipline ablation: the
@@ -68,38 +69,46 @@ func ChunkingAblation(versions int, fileSize int64, editSize int) []ChunkingCell
 		}},
 	}
 
-	var out []ChunkingCell
+	// The chain is read-only from here on; the scheme evaluations (each
+	// with its own seen-set) and the rsync pass run on the worker pool.
+	evals := make([]func() ChunkingCell, 0, len(schemes)+1)
 	for _, s := range schemes {
-		seen := make(map[dedup.Fingerprint]bool)
-		cell := ChunkingCell{Scheme: s.name}
-		for i, data := range chain {
-			var uploaded int64
-			for _, b := range s.chunks(data) {
-				if !seen[b.Sum] {
-					seen[b.Sum] = true
-					uploaded += int64(b.Size)
+		s := s
+		evals = append(evals, func() ChunkingCell {
+			seen := make(map[dedup.Fingerprint]bool)
+			cell := ChunkingCell{Scheme: s.name}
+			for i, data := range chain {
+				var uploaded int64
+				for _, b := range s.chunks(data) {
+					if !seen[b.Sum] {
+						seen[b.Sum] = true
+						uploaded += int64(b.Size)
+					}
+				}
+				if i == 0 {
+					cell.FirstVersion = uploaded
+				} else {
+					cell.Uploaded += uploaded
 				}
 			}
-			if i == 0 {
-				cell.FirstVersion = uploaded
-			} else {
-				cell.Uploaded += uploaded
-			}
+			return cell
+		})
+	}
+	evals = append(evals, func() ChunkingCell {
+		// rsync-style delta against the previous version (requires the
+		// server to hold a mutable basis rather than a chunk store).
+		rs := ChunkingCell{Scheme: "rsync delta (8 KB)"}
+		rs.FirstVersion = int64(len(chain[0]))
+		for i := 1; i < versions; i++ {
+			sig := delta.Sign(chain[i-1], fixedBlock)
+			d := delta.Compute(sig, chain[i])
+			rs.Uploaded += int64(d.WireSize() + sig.WireSize())
 		}
-		out = append(out, cell)
-	}
-
-	// rsync-style delta against the previous version (requires the
-	// server to hold a mutable basis rather than a chunk store).
-	rs := ChunkingCell{Scheme: "rsync delta (8 KB)"}
-	rs.FirstVersion = int64(len(chain[0]))
-	for i := 1; i < versions; i++ {
-		sig := delta.Sign(chain[i-1], fixedBlock)
-		d := delta.Compute(sig, chain[i])
-		rs.Uploaded += int64(d.WireSize() + sig.WireSize())
-	}
-	out = append(out, rs)
-	return out
+		return rs
+	})
+	return parallel.Map(evals, func(_ int, eval func() ChunkingCell) ChunkingCell {
+		return eval()
+	})
 }
 
 // RenderChunking formats the ablation.

@@ -6,6 +6,7 @@ import (
 	"cloudsync/internal/chunker"
 	"cloudsync/internal/client"
 	"cloudsync/internal/content"
+	"cloudsync/internal/parallel"
 	"cloudsync/internal/service"
 	"cloudsync/internal/trace"
 )
@@ -21,12 +22,12 @@ const maxProbeSize = 16 << 20
 
 // uploadProbe uploads f1 (b1 random bytes) and then f2 = f1 + f1 on a
 // fresh setup, returning the sync traffic of each upload.
-func uploadProbe(n service.Name, a client.AccessMethod, b1 int64) (tr1, tr2 int64) {
+func uploadProbe(n service.Name, a client.AccessMethod, b1, seed int64) (tr1, tr2 int64) {
 	s := service.NewSetup(n, a, service.Options{})
 	// Literal content: Algorithm 1 compares a file against its own
 	// self-concatenation, so both must fingerprint through the same
 	// (real MD5) path.
-	f1 := content.FromBytes(content.Random(b1, nextSeed()).Bytes())
+	f1 := content.FromBytes(content.Random(b1, seed).Bytes())
 	mark := s.Capture.Mark()
 	if err := s.FS.Create("probe/f1", f1); err != nil {
 		panic(err)
@@ -51,11 +52,21 @@ func uploadProbe(n service.Name, a client.AccessMethod, b1 int64) (tr1, tr2 int6
 // becomes nearly free. It reports the inferred block size and whether
 // block-level deduplication was detected at all.
 func Algorithm1(n service.Name, a client.AccessMethod) (blockSize int64, found bool) {
+	return algorithm1(n, a, reserveSeeds(algorithm1Seeds))
+}
+
+// algorithm1Seeds is the seed reservation one algorithm1 run needs:
+// one uploadProbe content seed per iteration of its bounded search.
+const algorithm1Seeds = 16
+
+// algorithm1 is Algorithm1 drawing content seeds from a pre-reserved
+// sequence, so parallel callers (Experiment5) stay deterministic.
+func algorithm1(n service.Name, a client.AccessMethod, seeds *seedSeq) (blockSize int64, found bool) {
 	b1 := int64(1 << 20) // initial guess
 	lower := int64(0)
 	upper := int64(0) // 0 = +∞
-	for iter := 0; iter < 16 && b1 <= maxProbeSize; iter++ {
-		tr1, tr2 := uploadProbe(n, a, b1)
+	for iter := 0; iter < algorithm1Seeds && b1 <= maxProbeSize; iter++ {
+		tr1, tr2 := uploadProbe(n, a, b1, seeds.Next())
 		switch {
 		case tr2 < tr1/4 && tr2 < smallTraffic:
 			// Step 3's success case: f2 cost almost nothing, so every
@@ -86,9 +97,9 @@ func Algorithm1(n service.Name, a client.AccessMethod) (blockSize int64, found b
 // identical-content file under a different name — by the uploading
 // user or by a second user sharing the cloud — and reports whether the
 // second upload's traffic indicates full-file deduplication.
-func duplicateFileProbe(n service.Name, a client.AccessMethod, crossUser bool) bool {
+func duplicateFileProbe(n service.Name, a client.AccessMethod, crossUser bool, seed int64) bool {
 	s := service.NewSetup(n, a, service.Options{User: "alice"})
-	blob := content.Random(1<<20, nextSeed())
+	blob := content.Random(1<<20, seed)
 	if err := s.FS.Create("orig.bin", blob); err != nil {
 		panic(err)
 	}
@@ -126,22 +137,35 @@ type DedupInference struct {
 // and the duplicate-file probe. Web access is omitted, as in the
 // paper, because web-based sync does not deduplicate.
 func Experiment5() []DedupInference {
-	var out []DedupInference
+	type task struct {
+		n     service.Name
+		seeds *seedSeq
+	}
+	var tasks []task
 	for _, n := range service.All() {
-		row := DedupInference{Service: n, SameUser: "No", CrossUser: "No"}
-		if bs, ok := Algorithm1(n, client.PC); ok {
+		// Per service: one algorithm1 run plus the two duplicate-file
+		// probes, each with its own content seed.
+		tasks = append(tasks, task{n: n, seeds: reserveSeeds(algorithm1Seeds + 2)})
+	}
+	return parallel.Map(tasks, func(_ int, t task) DedupInference {
+		row := DedupInference{Service: t.n, SameUser: "No", CrossUser: "No"}
+		// Draw the probe seeds up front so every branch consumes the same
+		// sequence positions regardless of which probes actually run.
+		algSeeds := reserveFrom(t.seeds, algorithm1Seeds)
+		sameSeed := t.seeds.Next()
+		crossSeed := t.seeds.Next()
+		if bs, ok := algorithm1(t.n, client.PC, algSeeds); ok {
 			row.SameUser = fmt.Sprintf("%d MB", bs>>20)
-		} else if duplicateFileProbe(n, client.PC, false) {
+		} else if duplicateFileProbe(t.n, client.PC, false, sameSeed) {
 			row.SameUser = "Full file"
 		}
-		if duplicateFileProbe(n, client.PC, true) {
+		if duplicateFileProbe(t.n, client.PC, true, crossSeed) {
 			// Cross-user hits at least at full-file level; check for
 			// block granularity only if same-user found one.
 			row.CrossUser = "Full file"
 		}
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // DedupRatioPoint is one Fig. 5 sample.

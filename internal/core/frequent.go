@@ -7,6 +7,7 @@ import (
 	"cloudsync/internal/deferpolicy"
 	"cloudsync/internal/hardware"
 	"cloudsync/internal/netem"
+	"cloudsync/internal/parallel"
 	"cloudsync/internal/service"
 )
 
@@ -26,36 +27,57 @@ func PaperXs() []float64 {
 func QuickXs() []float64 { return []float64{1, 2, 5, 8, 12, 20} }
 
 // appendTUE runs one "X KB / X sec" experiment and reports its TUE.
-func appendTUE(n service.Name, opts service.Options, x float64) float64 {
+// seed fixes the appended file's content identity; parallel callers
+// pass a pre-reserved seed (see creationSeed's determinism contract).
+func appendTUE(n service.Name, opts service.Options, x float64, seed int64) float64 {
 	s := service.NewSetup(n, client.PC, opts)
-	traffic := appendWorkload(s, x, AppendTotal)
+	traffic := appendWorkload(s, x, AppendTotal, seed)
 	return TUE(traffic, AppendTotal)
 }
 
+// appendTask is one pre-seeded cell of an appending-workload sweep.
+type appendTask struct {
+	n    service.Name
+	opts service.Options
+	x    float64
+	seed int64
+}
+
 // Experiment6 reproduces Fig. 6: the TUE of each service's PC client
-// under "X KB / X sec" appends from Minnesota on M1 hardware.
+// under "X KB / X sec" appends from Minnesota on M1 hardware. The
+// (service × X) cells are independent and run on the worker pool.
 func Experiment6(services []service.Name, xs []float64) []Cell {
-	var out []Cell
+	var tasks []appendTask
 	for _, n := range services {
 		for _, x := range xs {
-			tue := appendTUE(n, service.Options{}, x)
-			out = append(out, Cell{
-				Service: n, Access: client.PC, Param: x,
-				TUE: tue, Traffic: int64(tue * AppendTotal),
-			})
+			tasks = append(tasks, appendTask{n: n, x: x, seed: nextSeed()})
 		}
 	}
-	return out
+	return parallel.Map(tasks, func(_ int, t appendTask) Cell {
+		tue := appendTUE(t.n, service.Options{}, t.x, t.seed)
+		return Cell{
+			Service: t.n, Access: client.PC, Param: t.x,
+			TUE: tue, Traffic: int64(tue * AppendTotal),
+		}
+	})
 }
 
 // InferDeferment probes a service's fixed sync deferment the way
 // § 6.1 does: scan fractional X values for the boundary between the
 // batched regime (TUE ≈ 1) and the traffic-overuse regime. It reports
 // the estimated deferment and whether one was detected at all.
+//
+// The bisection is inherently sequential (each probe's X depends on
+// the previous outcome), so it reserves a private seed sequence up
+// front and stays deterministic even when several InferDeferment calls
+// run concurrently (see InferDeferments).
 func InferDeferment(n service.Name) (time.Duration, bool) {
 	const batchedTUE = 3.0
+	// 2 boundary probes + at most ceil(log2((16-0.6)/0.1)) ≈ 8 bisection
+	// steps; reserve with slack.
+	seeds := reserveSeeds(16)
 	probe := func(x float64) bool { // true = still batched
-		return appendTUE(n, service.Options{}, x) < batchedTUE
+		return appendTUE(n, service.Options{}, x, seeds.Next()) < batchedTUE
 	}
 	if !probe(0.6) {
 		return 0, false // no deferment: overuse even at sub-second cadence
@@ -75,6 +97,22 @@ func InferDeferment(n service.Name) (time.Duration, bool) {
 	return time.Duration((lo + hi) / 2 * float64(time.Second)), true
 }
 
+// Deferment is one service's inferred sync deferment.
+type Deferment struct {
+	Service  service.Name
+	Delay    time.Duration
+	Detected bool
+}
+
+// InferDeferments runs InferDeferment for every given service on the
+// worker pool, preserving input order.
+func InferDeferments(services []service.Name) []Deferment {
+	return parallel.Map(services, func(_ int, n service.Name) Deferment {
+		d, ok := InferDeferment(n)
+		return Deferment{Service: n, Delay: d, Detected: ok}
+	})
+}
+
 // PolicyCell is one ASD-evaluation measurement.
 type PolicyCell struct {
 	Service service.Name
@@ -86,7 +124,8 @@ type PolicyCell struct {
 // ASDEvaluation compares the service's native deferment against the
 // paper's proposed ASD and the UDS byte-counter baseline on the
 // appending workload — the § 6.1 claim that ASD keeps TUE near 1 where
-// fixed deferments fail (X > T).
+// fixed deferments fail (X > T). The (policy × X) cells run on the
+// worker pool.
 func ASDEvaluation(n service.Name, xs []float64) []PolicyCell {
 	policies := []struct {
 		label string
@@ -100,14 +139,22 @@ func ASDEvaluation(n service.Name, xs []float64) []PolicyCell {
 			return deferpolicy.UDS{Threshold: 256 << 10, MaxDelay: 5 * time.Minute}
 		}},
 	}
-	var out []PolicyCell
+	type task struct {
+		label string
+		mk    func() deferpolicy.Policy
+		x     float64
+		seed  int64
+	}
+	var tasks []task
 	for _, p := range policies {
 		for _, x := range xs {
-			tue := appendTUE(n, service.Options{Defer: p.mk()}, x)
-			out = append(out, PolicyCell{Service: n, Policy: p.label, X: x, TUE: tue})
+			tasks = append(tasks, task{label: p.label, mk: p.mk, x: x, seed: nextSeed()})
 		}
 	}
-	return out
+	return parallel.Map(tasks, func(_ int, t task) PolicyCell {
+		tue := appendTUE(n, service.Options{Defer: t.mk()}, t.x, t.seed)
+		return PolicyCell{Service: n, Policy: t.label, X: t.x, TUE: tue}
+	})
 }
 
 // LocationCell is one Fig. 7 measurement.
@@ -120,7 +167,7 @@ type LocationCell struct {
 
 // Experiment7 reproduces Fig. 7: the appending workload from the
 // Minnesota vantage point (close to the cloud) and from Beijing
-// (remote), for the given services.
+// (remote), for the given services. Cells run on the worker pool.
 func Experiment7(services []service.Name, xs []float64) []LocationCell {
 	locations := []struct {
 		name string
@@ -129,16 +176,25 @@ func Experiment7(services []service.Name, xs []float64) []LocationCell {
 		{"MN", netem.Minnesota()},
 		{"BJ", netem.Beijing()},
 	}
-	var out []LocationCell
+	type task struct {
+		n    service.Name
+		loc  string
+		link netem.Link
+		x    float64
+		seed int64
+	}
+	var tasks []task
 	for _, n := range services {
 		for _, loc := range locations {
 			for _, x := range xs {
-				tue := appendTUE(n, service.Options{Link: loc.link}, x)
-				out = append(out, LocationCell{Service: n, Location: loc.name, X: x, TUE: tue})
+				tasks = append(tasks, task{n: n, loc: loc.name, link: loc.link, x: x, seed: nextSeed()})
 			}
 		}
 	}
-	return out
+	return parallel.Map(tasks, func(_ int, t task) LocationCell {
+		tue := appendTUE(t.n, service.Options{Link: t.link}, t.x, t.seed)
+		return LocationCell{Service: t.n, Location: t.loc, X: t.x, TUE: tue}
+	})
 }
 
 // NetCell is one Fig. 8(a)/(b) measurement.
@@ -155,13 +211,15 @@ var Fig8aBandwidths = []int64{1_600_000, 3_000_000, 5_000_000, 10_000_000, 15_00
 // Fig8a reproduces Fig. 8(a): Dropbox handling "1 KB/sec" appends with
 // the bandwidth tuned from 1.6 to 20 Mbps at ≈ 50 ms latency.
 func Fig8a(bandwidths []int64) []NetCell {
-	var out []NetCell
-	for _, bps := range bandwidths {
-		link := netem.Link{UpBps: bps, DownBps: bps, RTT: 50 * time.Millisecond}
-		tue := appendTUE(service.Dropbox, service.Options{Link: link}, 1)
-		out = append(out, NetCell{Bps: bps, RTT: link.RTT, TUE: tue})
+	seeds := make([]int64, len(bandwidths))
+	for i := range seeds {
+		seeds[i] = nextSeed()
 	}
-	return out
+	return parallel.Map(bandwidths, func(i int, bps int64) NetCell {
+		link := netem.Link{UpBps: bps, DownBps: bps, RTT: 50 * time.Millisecond}
+		tue := appendTUE(service.Dropbox, service.Options{Link: link}, 1, seeds[i])
+		return NetCell{Bps: bps, RTT: link.RTT, TUE: tue}
+	})
 }
 
 // Fig8bLatencies is the paper's controlled latency range.
@@ -173,13 +231,15 @@ var Fig8bLatencies = []time.Duration{
 // Fig8b reproduces Fig. 8(b): Dropbox handling "1 KB/sec" appends with
 // the latency tuned from 40 to 1000 ms at 20 Mbps.
 func Fig8b(latencies []time.Duration) []NetCell {
-	var out []NetCell
-	for _, rtt := range latencies {
-		link := netem.Link{UpBps: 20_000_000, DownBps: 20_000_000, RTT: rtt}
-		tue := appendTUE(service.Dropbox, service.Options{Link: link}, 1)
-		out = append(out, NetCell{Bps: link.UpBps, RTT: rtt, TUE: tue})
+	seeds := make([]int64, len(latencies))
+	for i := range seeds {
+		seeds[i] = nextSeed()
 	}
-	return out
+	return parallel.Map(latencies, func(i int, rtt time.Duration) NetCell {
+		link := netem.Link{UpBps: 20_000_000, DownBps: 20_000_000, RTT: rtt}
+		tue := appendTUE(service.Dropbox, service.Options{Link: link}, 1, seeds[i])
+		return NetCell{Bps: link.UpBps, RTT: rtt, TUE: tue}
+	})
 }
 
 // HWCell is one Fig. 8(c) measurement.
@@ -194,12 +254,19 @@ type HWCell struct {
 // (M3) machines.
 func Fig8c(xs []float64) []HWCell {
 	machines := []hardware.Profile{hardware.M1(), hardware.M2(), hardware.M3()}
-	var out []HWCell
+	type task struct {
+		hw   hardware.Profile
+		x    float64
+		seed int64
+	}
+	var tasks []task
 	for _, hw := range machines {
 		for _, x := range xs {
-			tue := appendTUE(service.Dropbox, service.Options{Hardware: hw}, x)
-			out = append(out, HWCell{Machine: hw.Name, X: x, TUE: tue})
+			tasks = append(tasks, task{hw: hw, x: x, seed: nextSeed()})
 		}
 	}
-	return out
+	return parallel.Map(tasks, func(_ int, t task) HWCell {
+		tue := appendTUE(service.Dropbox, service.Options{Hardware: t.hw}, t.x, t.seed)
+		return HWCell{Machine: t.hw.Name, X: t.x, TUE: tue}
+	})
 }

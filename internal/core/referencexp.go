@@ -7,6 +7,7 @@ import (
 
 	"cloudsync/internal/content"
 	"cloudsync/internal/metrics"
+	"cloudsync/internal/parallel"
 	"cloudsync/internal/service"
 )
 
@@ -23,36 +24,39 @@ type ReferenceCell struct {
 }
 
 // referenceWorkload drives one scenario on a fresh setup and reports
-// (traffic, data update size).
+// (traffic, data update size). seeds is how many content seeds one run
+// draws; each run gets a pre-reserved sequence of exactly that length
+// so runs can execute on the worker pool deterministically.
 type referenceWorkload struct {
-	name string
-	run  func(s *service.Setup) (int64, int64)
+	name  string
+	seeds int64
+	run   func(s *service.Setup, seeds *seedSeq) (int64, int64)
 }
 
 func referenceWorkloads() []referenceWorkload {
 	return []referenceWorkload{
-		{"create 1 MB file", func(s *service.Setup) (int64, int64) {
+		{"create 1 MB file", 1, func(s *service.Setup, seeds *seedSeq) (int64, int64) {
 			mark := s.Capture.Mark()
-			if err := s.FS.Create("f", content.Random(1<<20, nextSeed())); err != nil {
+			if err := s.FS.Create("f", content.Random(1<<20, seeds.Next())); err != nil {
 				panic(err)
 			}
 			s.Clock.Run()
 			up, down, _ := s.Capture.Since(mark)
 			return up + down, 1 << 20
 		}},
-		{"create 1 MB text file", func(s *service.Setup) (int64, int64) {
+		{"create 1 MB text file", 1, func(s *service.Setup, seeds *seedSeq) (int64, int64) {
 			mark := s.Capture.Mark()
-			if err := s.FS.Create("f", content.Text(1<<20, nextSeed())); err != nil {
+			if err := s.FS.Create("f", content.Text(1<<20, seeds.Next())); err != nil {
 				panic(err)
 			}
 			s.Clock.Run()
 			up, down, _ := s.Capture.Since(mark)
 			return up + down, 1 << 20
 		}},
-		{"100 × 1 KB batch", func(s *service.Setup) (int64, int64) {
+		{"100 × 1 KB batch", 100, func(s *service.Setup, seeds *seedSeq) (int64, int64) {
 			mark := s.Capture.Mark()
 			for i := 0; i < 100; i++ {
-				if err := s.FS.Create(fmt.Sprintf("b/f%03d", i), content.Random(1<<10, nextSeed())); err != nil {
+				if err := s.FS.Create(fmt.Sprintf("b/f%03d", i), content.Random(1<<10, seeds.Next())); err != nil {
 					panic(err)
 				}
 			}
@@ -60,8 +64,8 @@ func referenceWorkloads() []referenceWorkload {
 			up, down, _ := s.Capture.Since(mark)
 			return up + down, 100 << 10
 		}},
-		{"modify 1 B of 1 MB", func(s *service.Setup) (int64, int64) {
-			if err := s.FS.Create("f", content.Random(1<<20, nextSeed())); err != nil {
+		{"modify 1 B of 1 MB", 1, func(s *service.Setup, seeds *seedSeq) (int64, int64) {
+			if err := s.FS.Create("f", content.Random(1<<20, seeds.Next())); err != nil {
 				panic(err)
 			}
 			s.Clock.Run()
@@ -75,8 +79,8 @@ func referenceWorkloads() []referenceWorkload {
 			// discussion does: the fairest "should" is one chunk.
 			return up + down, int64(8 << 10)
 		}},
-		{"re-upload duplicate 1 MB", func(s *service.Setup) (int64, int64) {
-			blob := content.Random(1<<20, nextSeed())
+		{"re-upload duplicate 1 MB", 1, func(s *service.Setup, seeds *seedSeq) (int64, int64) {
+			blob := content.Random(1<<20, seeds.Next())
 			if err := s.FS.Create("orig", blob); err != nil {
 				panic(err)
 			}
@@ -89,41 +93,63 @@ func referenceWorkloads() []referenceWorkload {
 			up, down, _ := s.Capture.Since(mark)
 			return up + down, 1 << 20
 		}},
-		{"append 1 KB/s → 1 MB", func(s *service.Setup) (int64, int64) {
-			return appendWorkload(s, 1, AppendTotal), AppendTotal
+		{"append 1 KB/s → 1 MB", 1, func(s *service.Setup, seeds *seedSeq) (int64, int64) {
+			return appendWorkload(s, 1, AppendTotal, seeds.Next()), AppendTotal
 		}},
-		{"append 8 KB/8 s → 1 MB", func(s *service.Setup) (int64, int64) {
-			return appendWorkload(s, 8, AppendTotal), AppendTotal
+		{"append 8 KB/8 s → 1 MB", 1, func(s *service.Setup, seeds *seedSeq) (int64, int64) {
+			return appendWorkload(s, 8, AppendTotal, seeds.Next()), AppendTotal
 		}},
 	}
 }
 
 // ReferenceComparison runs every workload on the reference design and
 // on the six commercial PC clients, reporting the reference TUE
-// against the best and worst commercial results.
+// against the best and worst commercial results. All workload × setup
+// runs (7 × 7) execute on the worker pool; the best/worst aggregation
+// over services happens afterwards, in input order.
 func ReferenceComparison() []ReferenceCell {
-	var out []ReferenceCell
-	for _, w := range referenceWorkloads() {
-		cell := ReferenceCell{Workload: w.name}
+	workloads := referenceWorkloads()
+	services := service.All()
+	// Task i*(1+len(services)) is workload i on the reference design;
+	// the following len(services) tasks are the commercial clients.
+	type task struct {
+		w         referenceWorkload
+		reference bool
+		n         service.Name
+		seeds     *seedSeq
+	}
+	var tasks []task
+	for _, w := range workloads {
+		tasks = append(tasks, task{w: w, reference: true, seeds: reserveSeeds(w.seeds)})
+		for _, n := range services {
+			tasks = append(tasks, task{w: w, n: n, seeds: reserveSeeds(w.seeds)})
+		}
+	}
+	tues := parallel.Map(tasks, func(_ int, t task) float64 {
+		var s *service.Setup
+		if t.reference {
+			s = service.NewReferenceSetup(service.Options{})
+		} else {
+			s = service.NewSetup(t.n, client.PC, service.Options{})
+		}
+		traffic, update := t.w.run(s, t.seeds)
+		return TUE(traffic, update)
+	})
 
-		s := service.NewReferenceSetup(service.Options{})
-		traffic, update := w.run(s)
-		cell.Reference = TUE(traffic, update)
-
-		first := true
-		for _, n := range service.All() {
-			s := service.NewSetup(n, client.PC, service.Options{})
-			traffic, update := w.run(s)
-			tue := TUE(traffic, update)
-			if first || tue < cell.Best {
+	out := make([]ReferenceCell, len(workloads))
+	stride := 1 + len(services)
+	for i, w := range workloads {
+		cell := ReferenceCell{Workload: w.name, Reference: tues[i*stride]}
+		for j, n := range services {
+			tue := tues[i*stride+1+j]
+			if j == 0 || tue < cell.Best {
 				cell.Best, cell.BestName = tue, n.String()
 			}
-			if first || tue > cell.Worst {
+			if j == 0 || tue > cell.Worst {
 				cell.Worst, cell.WorstName = tue, n.String()
 			}
-			first = false
 		}
-		out = append(out, cell)
+		out[i] = cell
 	}
 	return out
 }
@@ -142,10 +168,16 @@ func RenderReference(cells []ReferenceCell) string {
 // ReferenceASDBound verifies the ASD claim end to end on the reference
 // design: the worst-case appending TUE across the cadence sweep.
 func ReferenceASDBound(xs []float64) float64 {
-	worst := 0.0
-	for _, x := range xs {
+	seeds := make([]int64, len(xs))
+	for i := range seeds {
+		seeds[i] = nextSeed()
+	}
+	tues := parallel.Map(xs, func(i int, x float64) float64 {
 		s := service.NewReferenceSetup(service.Options{})
-		tue := TUE(appendWorkload(s, x, AppendTotal), AppendTotal)
+		return TUE(appendWorkload(s, x, AppendTotal, seeds[i]), AppendTotal)
+	})
+	worst := 0.0
+	for _, tue := range tues {
 		if tue > worst {
 			worst = tue
 		}

@@ -7,6 +7,7 @@ import (
 
 	"cloudsync/internal/metrics"
 	"cloudsync/internal/netem"
+	"cloudsync/internal/parallel"
 	"cloudsync/internal/wire"
 )
 
@@ -68,50 +69,58 @@ func ReliabilityAblation(fileSize int64, link netem.Link, chunk int64, mtbfs []t
 	handshake := int64(6000) // TCP+TLS establishment, both directions
 	handshakeTime := time.Duration(wire.HandshakeRTTs) * link.RTT
 
-	var out []ReliabilityCell
+	type task struct {
+		mtbf     time.Duration
+		strategy string
+	}
+	var tasks []task
 	for _, mtbf := range mtbfs {
 		for _, strategy := range []string{"restart from zero", "resumable chunks"} {
-			rng := xorshift(0xC10D + uint64(mtbf))
-			var traffic int64
-			var elapsed time.Duration
-			attempts := 0
-			var committed int64 // bytes durably uploaded
-
-			for committed < fileSize && attempts < 10_000 {
-				attempts++
-				traffic += handshake
-				elapsed += handshakeTime
-				ttf := rng.expSample(mtbf)
-
-				if strategy == "restart from zero" {
-					committed = 0
-				}
-				remaining := fileSize - committed
-				sendTime := link.UpTime(int(wireBytes(remaining)))
-				if ttf >= sendTime {
-					// Attempt completes.
-					traffic += wireBytes(remaining)
-					elapsed += sendTime
-					committed = fileSize
-					continue
-				}
-				// Failure mid-transfer.
-				sentApp := int64(float64(remaining) * float64(ttf) / float64(sendTime))
-				traffic += wireBytes(sentApp)
-				elapsed += ttf
-				if strategy == "resumable chunks" {
-					// Whole chunks that finished before the failure are
-					// durable.
-					committed += (sentApp / chunk) * chunk
-				}
-			}
-			out = append(out, ReliabilityCell{
-				Strategy: strategy, MTBF: mtbf,
-				Traffic: traffic, Attempts: attempts, Duration: elapsed,
-			})
+			tasks = append(tasks, task{mtbf: mtbf, strategy: strategy})
 		}
 	}
-	return out
+	// Every cell seeds its own PRNG from its MTBF, so the cells are
+	// fully independent and run on the worker pool.
+	return parallel.Map(tasks, func(_ int, t task) ReliabilityCell {
+		rng := xorshift(0xC10D + uint64(t.mtbf))
+		var traffic int64
+		var elapsed time.Duration
+		attempts := 0
+		var committed int64 // bytes durably uploaded
+
+		for committed < fileSize && attempts < 10_000 {
+			attempts++
+			traffic += handshake
+			elapsed += handshakeTime
+			ttf := rng.expSample(t.mtbf)
+
+			if t.strategy == "restart from zero" {
+				committed = 0
+			}
+			remaining := fileSize - committed
+			sendTime := link.UpTime(int(wireBytes(remaining)))
+			if ttf >= sendTime {
+				// Attempt completes.
+				traffic += wireBytes(remaining)
+				elapsed += sendTime
+				committed = fileSize
+				continue
+			}
+			// Failure mid-transfer.
+			sentApp := int64(float64(remaining) * float64(ttf) / float64(sendTime))
+			traffic += wireBytes(sentApp)
+			elapsed += ttf
+			if t.strategy == "resumable chunks" {
+				// Whole chunks that finished before the failure are
+				// durable.
+				committed += (sentApp / chunk) * chunk
+			}
+		}
+		return ReliabilityCell{
+			Strategy: t.strategy, MTBF: t.mtbf,
+			Traffic: traffic, Attempts: attempts, Duration: elapsed,
+		}
+	})
 }
 
 // RenderReliability formats the ablation.

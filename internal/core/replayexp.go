@@ -8,6 +8,7 @@ import (
 	"cloudsync/internal/client"
 	"cloudsync/internal/content"
 	"cloudsync/internal/metrics"
+	"cloudsync/internal/parallel"
 	"cloudsync/internal/service"
 	"cloudsync/internal/trace"
 )
@@ -124,14 +125,15 @@ func TraceReplay(n service.Name, recs []trace.Record, fullScaleFactor float64) R
 }
 
 // TraceReplayAll replays the trace under the six PC clients and the
-// reference design.
+// reference design. Each service's replay is an independent simulation
+// over the (read-only) record slice, so the seven replays run on the
+// worker pool; content identity comes from the records' ContentIDs, so
+// no seeds are drawn and the results are order-independent.
 func TraceReplayAll(recs []trace.Record, fullScaleFactor float64) []ReplayResult {
 	services := append(service.All(), service.Reference)
-	out := make([]ReplayResult, 0, len(services))
-	for _, n := range services {
-		out = append(out, TraceReplay(n, recs, fullScaleFactor))
-	}
-	return out
+	return parallel.Map(services, func(_ int, n service.Name) ReplayResult {
+		return TraceReplay(n, recs, fullScaleFactor)
+	})
 }
 
 // RenderReplay formats the replay comparison.

@@ -6,32 +6,59 @@ import (
 	"cloudsync/internal/client"
 	"cloudsync/internal/comp"
 	"cloudsync/internal/content"
+	"cloudsync/internal/parallel"
 	"cloudsync/internal/service"
 )
 
-// Experiment1 measures the sync traffic of creating a highly
-// compressed (incompressible) file of each size, for every service and
-// access method — the data behind Table 6 and Fig. 3.
-func Experiment1(sizes []int64) []Cell {
-	var out []Cell
+// gridCell is one pre-seeded task of a (service × access × size)
+// experiment grid. Every input — including the content seed — is fixed
+// before the pool runs anything, so results cannot depend on worker
+// scheduling.
+type gridCell struct {
+	n    service.Name
+	a    client.AccessMethod
+	size int64
+	seed int64
+}
+
+// grid enumerates the full service × access-method × size grid in the
+// paper's table order, sharing one content seed per size: the paper
+// uploads the *same* file to every service, and the shared seed lets
+// the content fingerprint cache reuse work across cells.
+func grid(sizes []int64) []gridCell {
+	seeds := make([]int64, len(sizes))
+	for i := range sizes {
+		seeds[i] = nextSeed()
+	}
+	cells := make([]gridCell, 0, 6*3*len(sizes))
 	for _, n := range service.All() {
 		for _, a := range service.AccessMethods() {
-			for _, size := range sizes {
-				blob := content.Random(size, nextSeed())
-				up, down := runOp(n, a, service.Options{}, func(s *service.Setup) {
-					if err := s.FS.Create("file.bin", blob); err != nil {
-						panic(err)
-					}
-				})
-				out = append(out, Cell{
-					Service: n, Access: a, Param: float64(size),
-					Up: up, Down: down, Traffic: up + down,
-					TUE: TUE(up+down, size),
-				})
+			for i, size := range sizes {
+				cells = append(cells, gridCell{n: n, a: a, size: size, seed: seeds[i]})
 			}
 		}
 	}
-	return out
+	return cells
+}
+
+// Experiment1 measures the sync traffic of creating a highly
+// compressed (incompressible) file of each size, for every service and
+// access method — the data behind Table 6 and Fig. 3. The grid's cells
+// are independent simulations and run on the parallel worker pool.
+func Experiment1(sizes []int64) []Cell {
+	return parallel.Map(grid(sizes), func(_ int, t gridCell) Cell {
+		blob := content.Random(t.size, t.seed)
+		up, down := runOp(t.n, t.a, service.Options{}, func(s *service.Setup) {
+			if err := s.FS.Create("file.bin", blob); err != nil {
+				panic(err)
+			}
+		})
+		return Cell{
+			Service: t.n, Access: t.a, Param: float64(t.size),
+			Up: up, Down: down, Traffic: up + down,
+			TUE: TUE(up+down, t.size),
+		}
+	})
 }
 
 // Experiment1PC is the Fig. 3 slice of Experiment 1: PC clients only.
@@ -59,97 +86,96 @@ type BatchCreationResult struct {
 
 // Experiment1Batch reproduces Experiment 1′ / Table 7: move 100
 // distinct 1 KB highly compressed files into the sync folder at once
-// and measure the total traffic.
+// and measure the total traffic. Each (service, access) cell runs on
+// the pool with a pre-reserved block of 100 content seeds.
 func Experiment1Batch() []BatchCreationResult {
 	const files = 100
 	const fileSize = 1 << 10
-	var out []BatchCreationResult
+	type task struct {
+		n     service.Name
+		a     client.AccessMethod
+		seeds *seedSeq
+	}
+	var tasks []task
 	for _, n := range service.All() {
 		for _, a := range service.AccessMethods() {
-			up, down := runOp(n, a, service.Options{}, func(s *service.Setup) {
-				for i := 0; i < files; i++ {
-					name := fmt.Sprintf("batch/f%03d", i)
-					if err := s.FS.Create(name, content.Random(fileSize, nextSeed())); err != nil {
-						panic(err)
-					}
-				}
-			})
-			traffic := up + down
-			tue := TUE(traffic, files*fileSize)
-			out = append(out, BatchCreationResult{
-				Service: n, Access: a, Traffic: traffic, TUE: tue,
-				BDSDetected: tue <= 10,
-			})
+			tasks = append(tasks, task{n: n, a: a, seeds: reserveSeeds(files)})
 		}
 	}
-	return out
+	return parallel.Map(tasks, func(_ int, t task) BatchCreationResult {
+		up, down := runOp(t.n, t.a, service.Options{}, func(s *service.Setup) {
+			for i := 0; i < files; i++ {
+				name := fmt.Sprintf("batch/f%03d", i)
+				if err := s.FS.Create(name, content.Random(fileSize, t.seeds.Next())); err != nil {
+					panic(err)
+				}
+			}
+		})
+		traffic := up + down
+		tue := TUE(traffic, files*fileSize)
+		return BatchCreationResult{
+			Service: t.n, Access: t.a, Traffic: traffic, TUE: tue,
+			BDSDetected: tue <= 10,
+		}
+	})
 }
 
 // Experiment2 measures the sync traffic of deleting a fully
 // synchronized file of each size (§ 4.2: expected negligible, because
 // deletion is a metadata-only "fake deletion").
 func Experiment2(sizes []int64) []Cell {
-	var out []Cell
-	for _, n := range service.All() {
-		for _, a := range service.AccessMethods() {
-			for _, size := range sizes {
-				blob := content.Random(size, nextSeed())
-				s := service.NewSetup(n, a, service.Options{})
-				if err := s.FS.Create("victim.bin", blob); err != nil {
-					panic(err)
-				}
-				s.Clock.Run()
-				mark := s.Capture.Mark()
-				if err := s.FS.Delete("victim.bin"); err != nil {
-					panic(err)
-				}
-				s.Clock.Run()
-				up, down, _ := s.Capture.Since(mark)
-				out = append(out, Cell{
-					Service: n, Access: a, Param: float64(size),
-					Up: up, Down: down, Traffic: up + down,
-					// For deletions the natural reference is the file
-					// size, though the paper reports absolute traffic.
-					TUE: TUE(up+down+1, size),
-				})
-			}
+	return parallel.Map(grid(sizes), func(_ int, t gridCell) Cell {
+		blob := content.Random(t.size, t.seed)
+		s := service.NewSetup(t.n, t.a, service.Options{})
+		if err := s.FS.Create("victim.bin", blob); err != nil {
+			panic(err)
 		}
-	}
-	return out
+		s.Clock.Run()
+		mark := s.Capture.Mark()
+		if err := s.FS.Delete("victim.bin"); err != nil {
+			panic(err)
+		}
+		s.Clock.Run()
+		up, down, _ := s.Capture.Since(mark)
+		return Cell{
+			Service: t.n, Access: t.a, Param: float64(t.size),
+			Up: up, Down: down, Traffic: up + down,
+			// For deletions the natural reference is the file
+			// size, though the paper reports absolute traffic.
+			TUE: TUE(up+down+1, t.size),
+		}
+	})
 }
 
 // Experiment3 measures the sync traffic of modifying one random byte
 // of a synchronized compressed file of each size — Fig. 4, the
 // experiment that exposes each service's sync granularity.
 func Experiment3(sizes []int64) []Cell {
-	var out []Cell
-	for _, n := range service.All() {
-		for _, a := range service.AccessMethods() {
-			for _, size := range sizes {
-				if size < 1 {
-					continue
-				}
-				blob := content.Random(size, nextSeed())
-				s := service.NewSetup(n, a, service.Options{})
-				if err := s.FS.Create("target.bin", blob); err != nil {
-					panic(err)
-				}
-				s.Clock.Run()
-				mark := s.Capture.Mark()
-				if err := s.FS.ModifyByte("target.bin", size/2); err != nil {
-					panic(err)
-				}
-				s.Clock.Run()
-				up, down, _ := s.Capture.Since(mark)
-				out = append(out, Cell{
-					Service: n, Access: a, Param: float64(size),
-					Up: up, Down: down, Traffic: up + down,
-					TUE: TUE(up+down, 1), // one byte changed
-				})
-			}
+	var kept []int64
+	for _, size := range sizes {
+		if size >= 1 {
+			kept = append(kept, size)
 		}
 	}
-	return out
+	return parallel.Map(grid(kept), func(_ int, t gridCell) Cell {
+		blob := content.Random(t.size, t.seed)
+		s := service.NewSetup(t.n, t.a, service.Options{})
+		if err := s.FS.Create("target.bin", blob); err != nil {
+			panic(err)
+		}
+		s.Clock.Run()
+		mark := s.Capture.Mark()
+		if err := s.FS.ModifyByte("target.bin", t.size/2); err != nil {
+			panic(err)
+		}
+		s.Clock.Run()
+		up, down, _ := s.Capture.Since(mark)
+		return Cell{
+			Service: t.n, Access: t.a, Param: float64(t.size),
+			Up: up, Down: down, Traffic: up + down,
+			TUE: TUE(up+down, 1), // one byte changed
+		}
+	})
 }
 
 // CompressionCell is one Table 8 measurement: a 10 MB text file
@@ -165,35 +191,33 @@ type CompressionCell struct {
 
 // Experiment4 reproduces Table 8: create an X-byte text file (random
 // English words), measure upload traffic; then download it and measure
-// download traffic.
+// download traffic. Every cell uploads the same text content (one
+// shared seed), as the paper does.
 func Experiment4(size int64) []CompressionCell {
-	var out []CompressionCell
-	for _, n := range service.All() {
-		for _, a := range service.AccessMethods() {
-			blob := content.Text(size, nextSeed())
-			s := service.NewSetup(n, a, service.Options{})
-			mark := s.Capture.Mark()
-			if err := s.FS.Create("words.txt", blob); err != nil {
-				panic(err)
-			}
-			s.Clock.Run()
-			upU, upD, _ := s.Capture.Since(mark)
-
-			mark = s.Capture.Mark()
-			if err := s.Client.Download("words.txt", nil); err != nil {
-				panic(err)
-			}
-			s.Clock.Run()
-			dnU, dnD, _ := s.Capture.Since(mark)
-
-			out = append(out, CompressionCell{
-				Service: n, Access: a,
-				UpBytes: upU + upD, DnBytes: dnU + dnD, Size: size,
-				Detected: upU+upD < size*95/100,
-			})
+	seed := nextSeed()
+	return parallel.Map(grid([]int64{size}), func(_ int, t gridCell) CompressionCell {
+		blob := content.Text(t.size, seed)
+		s := service.NewSetup(t.n, t.a, service.Options{})
+		mark := s.Capture.Mark()
+		if err := s.FS.Create("words.txt", blob); err != nil {
+			panic(err)
 		}
-	}
-	return out
+		s.Clock.Run()
+		upU, upD, _ := s.Capture.Since(mark)
+
+		mark = s.Capture.Mark()
+		if err := s.Client.Download("words.txt", nil); err != nil {
+			panic(err)
+		}
+		s.Clock.Run()
+		dnU, dnD, _ := s.Capture.Since(mark)
+
+		return CompressionCell{
+			Service: t.n, Access: t.a,
+			UpBytes: upU + upD, DnBytes: dnU + dnD, Size: t.size,
+			Detected: upU+upD < t.size*95/100,
+		}
+	})
 }
 
 // TextIdealRatio reports the best-effort compression ratio of the

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"cloudsync/internal/client"
@@ -65,21 +66,72 @@ func runOp(n service.Name, a client.AccessMethod, opts service.Options, op func(
 }
 
 // creationSeed gives every synthetic file in an experiment distinct,
-// reproducible content.
-var creationSeed int64 = 10_000
+// reproducible content. The counter is atomic so stray concurrent use
+// is race-free, but parallel experiment cells must NOT draw from it at
+// run time — the draw order would depend on scheduling. Instead, each
+// experiment reserves every seed it needs while it is still building
+// its task list (sequentially), either as explicit values or as a
+// seedSeq handed to the cell; the pool then only ever sees fully
+// pre-seeded tasks. That is the determinism contract that makes
+// workers=N byte-identical to workers=1.
+var creationSeed atomic.Int64
+
+func init() { creationSeed.Store(10_000) }
 
 func nextSeed() int64 {
-	creationSeed++
-	return creationSeed
+	return creationSeed.Add(1)
+}
+
+// seedSeq is a pre-reserved run of seeds for one experiment cell: the
+// cell draws from its private sequence in its own deterministic order,
+// no matter which worker runs it or when.
+type seedSeq struct {
+	next, end int64
+}
+
+// reserveSeeds claims the next n seeds from the global counter.
+func reserveSeeds(n int64) *seedSeq {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: reserveSeeds(%d)", n))
+	}
+	end := creationSeed.Add(n)
+	return &seedSeq{next: end - n + 1, end: end}
+}
+
+// reserveFrom carves the next n seeds out of an existing reservation
+// as their own sequence — for handing a sub-task its private run of
+// seeds without touching the global counter.
+func reserveFrom(q *seedSeq, n int64) *seedSeq {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: reserveFrom(%d)", n))
+	}
+	start := q.next
+	if start+n-1 > q.end {
+		panic("core: seed reservation exhausted")
+	}
+	q.next += n
+	return &seedSeq{next: start, end: start + n - 1}
+}
+
+// Next yields the sequence's next seed; exhausting the reservation is a
+// bug in the reserving experiment's arithmetic.
+func (q *seedSeq) Next() int64 {
+	if q.next > q.end {
+		panic("core: seed reservation exhausted")
+	}
+	v := q.next
+	q.next++
+	return v
 }
 
 // appendWorkload drives the paper's "X KB / X sec" appending
 // experiment on an existing setup: starting from an empty file, append
 // X KB every X seconds until total bytes accumulate, then drain. It
-// returns the sync traffic the appends caused.
-func appendWorkload(s *service.Setup, x float64, total int64) (traffic int64) {
+// returns the sync traffic the appends caused. seed fixes the file's
+// content identity; parallel cells pass a pre-reserved seed.
+func appendWorkload(s *service.Setup, x float64, total, seed int64) (traffic int64) {
 	const name = "frequent.doc"
-	if err := s.FS.Create(name, content.Random(0, nextSeed())); err != nil {
+	if err := s.FS.Create(name, content.Random(0, seed)); err != nil {
 		panic(fmt.Sprintf("core: append workload: %v", err))
 	}
 	s.Clock.Run()

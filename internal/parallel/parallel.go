@@ -1,0 +1,140 @@
+// Package parallel is the deterministic worker pool the experiment
+// harness fans independent cells out on. Every cell of the paper's
+// evaluation grid builds an isolated service.Setup (its own simclock
+// and in-memory cloud), so cells can run concurrently as long as the
+// harness (a) hands each cell its inputs — seeds included — before
+// anything runs, and (b) reassembles results in input order. Map and
+// ForEach guarantee (b); the core package's seed reservation provides
+// (a). Together they make a run with workers=8 byte-identical to a run
+// with workers=1.
+//
+// The pool width defaults to GOMAXPROCS and can be overridden globally
+// (SetWorkers, wired to tuebench's -workers flag) so benchmarks and the
+// determinism tests can pin it.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds the SetWorkers value; 0 means "use GOMAXPROCS".
+var workerOverride atomic.Int64
+
+// Workers reports the pool width Map and ForEach will use: the last
+// SetWorkers value, or GOMAXPROCS when none is set.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool width for subsequent Map/ForEach calls.
+// n <= 0 restores the GOMAXPROCS default. The override is global and
+// safe to change concurrently; in-flight calls keep the width they
+// started with.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// panicError carries a recovered task panic (with the input index that
+// raised it) from a worker goroutine back to the Map caller.
+type panicError struct {
+	index int
+	value any
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.index, e.value)
+}
+
+// Map applies fn to every item on at most Workers() goroutines and
+// returns the results in input order, regardless of completion order.
+// fn must be safe to call concurrently and must not depend on the
+// relative execution order of items. If any task panics, Map waits for
+// the remaining started tasks and re-panics with the lowest-indexed
+// panic value, so failures are as deterministic as results.
+func Map[T, R any](items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	run(len(items), func(i int) {
+		out[i] = fn(i, items[i])
+	})
+	return out
+}
+
+// ForEach applies fn to every item under the same pool, ordering, and
+// panic contract as Map, for tasks that write their own results.
+func ForEach[T any](items []T, fn func(i int, item T)) {
+	run(len(items), func(i int) {
+		fn(i, items[i])
+	})
+}
+
+// Do runs n indexed tasks under the same contract as Map.
+func Do(n int, fn func(i int)) {
+	run(n, fn)
+}
+
+// run executes n indexed tasks on the pool. With one worker (or one
+// task) it runs inline on the caller's goroutine: the workers=1 path is
+// exactly the sequential loop the experiments used before the pool
+// existed, which is what the determinism tests compare against.
+func run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked *panicError
+	)
+	record := func(i int, v any) {
+		panicMu.Lock()
+		defer panicMu.Unlock()
+		if panicked == nil || i < panicked.index {
+			panicked = &panicError{index: i, value: v}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							record(i, v)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	got := Map(items, func(_ int, v int) int {
+		if v%7 == 0 {
+			runtime.Gosched() // shuffle completion order
+		}
+		return v * 2
+	})
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(nil, func(_ int, v int) int { return v }); len(got) != 0 {
+		t.Fatalf("Map(nil) = %v", got)
+	}
+	if got := Map([]int{41}, func(_ int, v int) int { return v + 1 }); got[0] != 42 {
+		t.Fatalf("Map single = %v", got)
+	}
+}
+
+func TestWorkersBound(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	var active, peak atomic.Int64
+	ForEach(make([]struct{}, 64), func(int, struct{}) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestSetWorkersClampAndDefault(t *testing.T) {
+	SetWorkers(-5)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS default", Workers())
+	}
+}
+
+func TestSequentialFallbackRunsInline(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	var order []int
+	ForEach([]int{0, 1, 2, 3}, func(i int, _ int) {
+		order = append(order, i) // safe: inline, single goroutine
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order = %v", order)
+		}
+	}
+}
+
+func TestPanicPropagatesLowestIndex(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic did not propagate")
+		}
+		pe, ok := v.(*panicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *panicError", v)
+		}
+		if pe.index != 2 {
+			t.Fatalf("panic index = %d, want lowest failing index 2", pe.index)
+		}
+		if !strings.Contains(pe.Error(), "boom 2") {
+			t.Fatalf("panic message %q lost the cause", pe.Error())
+		}
+	}()
+	var wait sync.WaitGroup
+	wait.Add(1)
+	Do(16, func(i int) {
+		if i == 2 || i == 9 {
+			if i == 9 {
+				wait.Wait() // guarantee task 2's panic is also recorded
+			} else {
+				defer wait.Done()
+			}
+			panic("boom " + string(rune('0'+i%10)))
+		}
+	})
+}
+
+func TestDoCountsEveryIndex(t *testing.T) {
+	SetWorkers(8)
+	defer SetWorkers(0)
+	seen := make([]atomic.Int64, 100)
+	Do(100, func(i int) { seen[i].Add(1) })
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}

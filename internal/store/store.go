@@ -321,9 +321,12 @@ func (l *ChunkObjectLayer) Create(key string, blob *content.Blob) (int64, error)
 	l.init()
 	before := l.Store.Stats()
 	data := blob.Bytes()
-	blocks := chunker.Fixed(data, l.ChunkSize)
+	// Only the block geometry matters here; the chunk objects carry the
+	// content, so fingerprinting every block (chunker.Fixed) would be
+	// pure waste.
+	blocks := chunker.Boundaries(int64(len(data)), l.ChunkSize)
 	for i, b := range blocks {
-		l.Store.Put(l.chunkKey(key, int64(i)), content.FromBytes(data[b.Off:b.Off+int64(b.Size)]))
+		l.Store.Put(l.chunkKey(key, int64(i)), content.FromBytes(data[b.Off:b.Off+b.Len]))
 	}
 	l.chunks[key] = len(blocks)
 	l.putMeta(key, int64(len(blocks)))
@@ -340,10 +343,10 @@ func (l *ChunkObjectLayer) Modify(key string, blob *content.Blob, dirty []chunke
 	}
 	before := l.Store.Stats()
 	data := blob.Bytes()
-	blocks := chunker.Fixed(data, l.ChunkSize)
+	blocks := chunker.Boundaries(int64(len(data)), l.ChunkSize)
 	norm := chunker.Normalize(dirty)
 	for i, b := range blocks {
-		start, end := b.Off, b.Off+int64(b.Size)
+		start, end := b.Off, b.Off+b.Len
 		touched := i >= old // appended chunks are always new
 		for _, r := range norm {
 			if r.Off < end && r.Off+r.Len > start {
