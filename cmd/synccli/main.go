@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cloudsync/internal/comp"
 	"cloudsync/internal/syncnet"
@@ -33,10 +34,12 @@ flags:
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7777", "syncd address")
-		user     = flag.String("user", "alice", "account name")
-		device   = flag.String("device", "cli", "device name")
-		compress = flag.Bool("compress", true, "compress uploads (must match syncd)")
+		addr      = flag.String("addr", "127.0.0.1:7777", "syncd address")
+		user      = flag.String("user", "alice", "account name")
+		device    = flag.String("device", "cli", "device name")
+		compress  = flag.Bool("compress", true, "compress uploads (must match syncd)")
+		retries   = flag.Int("retries", 1, "attempts per operation (reconnect + resume on failure)")
+		retryBase = flag.Duration("retry-base", 200*time.Millisecond, "initial reconnect backoff")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -53,6 +56,14 @@ func main() {
 	var opts []syncnet.ClientOption
 	if *compress {
 		opts = append(opts, syncnet.WithCompression(comp.High))
+	}
+	if *retries > 1 {
+		opts = append(opts, syncnet.WithRetry(syncnet.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   *retryBase,
+			MaxDelay:    5 * time.Second,
+			Seed:        1,
+		}))
 	}
 	c, err := syncnet.Dial("tcp", *addr, *user, *device, opts...)
 	if err != nil {
@@ -82,6 +93,10 @@ func main() {
 		default:
 			fmt.Printf("put %s: full upload (v%d, %d payload bytes)\n",
 				args[2], stats.Version, stats.PayloadBytes)
+		}
+		if stats.Attempts > 1 {
+			fmt.Printf("put %s: took %d attempts, resumed from payload byte %d\n",
+				args[2], stats.Attempts, stats.ResumedFrom)
 		}
 	case "get":
 		if len(args) != 3 {

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	syncd -addr 127.0.0.1:7777 -compress -cross-user-dedup
+//
+// For resilience testing, -fault-drop-bytes cuts every accepted
+// connection after a seeded pseudo-random byte budget, so retrying
+// clients exercise the resume protocol against a real listener.
 package main
 
 import (
@@ -26,6 +30,12 @@ func main() {
 		crossUser = flag.Bool("cross-user-dedup", false, "share the dedup index across accounts")
 		blockSize = flag.Int("block-size", 0, "delta-sync granularity in bytes (0 = default 8 KiB)")
 		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+
+		faultBytes = flag.Int64("fault-drop-bytes", 0,
+			"cut each connection after ~this many bytes (0 = no fault injection)")
+		faultDrops = flag.Int("fault-max-drops", 0,
+			"stop injecting after this many cuts (0 = unlimited)")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
 	)
 	flag.Parse()
 
@@ -47,6 +57,14 @@ func main() {
 	}
 	log.Printf("syncd: listening on %s (compress=%v cross-user-dedup=%v)",
 		l.Addr(), *compress, *crossUser)
+	if *faultBytes > 0 {
+		sched := syncnet.NewFaultScheduler(syncnet.FaultPlan{
+			Seed: *faultSeed, MeanDropBytes: *faultBytes, MaxDrops: *faultDrops,
+		})
+		l = sched.Listen(l)
+		log.Printf("syncd: fault injection armed (~%d bytes/conn, max drops %d, seed %d)",
+			*faultBytes, *faultDrops, *faultSeed)
+	}
 	if err := syncnet.NewServer(cfg).Serve(l); err != nil {
 		fmt.Fprintf(os.Stderr, "syncd: %v\n", err)
 		os.Exit(1)

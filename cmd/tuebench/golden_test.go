@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudsync/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden table snapshot")
+
+// quickTables renders every experiment with the -quick configuration,
+// exactly as `tuebench -quick` would, minus the wall-clock chrome.
+func quickTables() string {
+	core.ResetContentSeeds()
+	cfg := config{quick: true, scale: 0.05, seed: 1}
+	var b strings.Builder
+	for _, e := range experiments {
+		fmt.Fprintf(&b, "== %s ==\n%s\n", e.name, e.run(cfg))
+	}
+	return b.String()
+}
+
+// TestQuickGolden pins the full `tuebench -quick` output byte-for-byte
+// against testdata/quick.golden. Any change to a simulated table —
+// calibration, rendering, seed handling, experiment order — shows up
+// here as a diff; intentional changes regenerate the snapshot with
+//
+//	go test ./cmd/tuebench -run TestQuickGolden -update
+func TestQuickGolden(t *testing.T) {
+	got := quickTables()
+	golden := filepath.Join("testdata", "quick.golden")
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden snapshot (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("output diverges from %s at line %d:\n  golden: %q\n  got:    %q\n"+
+				"(regenerate intentionally with: go test ./cmd/tuebench -run TestQuickGolden -update)",
+				golden, i+1, w, g)
+		}
+	}
+	t.Fatalf("output differs from %s in trailing bytes (got %d, want %d)", golden, len(got), len(want))
+}

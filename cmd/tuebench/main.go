@@ -171,6 +171,13 @@ var experiments = []experiment{
 		}
 		return core.RenderChunking(core.ChunkingAblation(versions, size, edit), versions, size, edit)
 	}},
+	{"faults", "TUE under injected exchange loss x link (fault injection)", func(c config) string {
+		probs := core.FaultLossProbs
+		if c.quick {
+			probs = core.QuickFaultLossProbs
+		}
+		return core.RenderFaultSweep(core.FaultSweep(probs))
+	}},
 }
 
 func main() {

@@ -73,6 +73,13 @@ type Blob struct {
 
 // Random returns an incompressible blob of the given size. Blobs with
 // equal seeds share a common prefix.
+//
+// Seeds index windows of one global splitmix stream: a blob with seed
+// s+Δ carries the same bytes as seed s shifted by 8·Δ. Blobs whose
+// seeds differ by less than size/8 therefore overlap, and a
+// rolling-hash delta sync will find that overlap. Callers that need
+// genuinely independent contents (e.g. to assert a traffic lower
+// bound) must space seeds by more than size/8.
 func Random(size, seed int64) *Blob {
 	checkSize(size)
 	return &Blob{kind: KindRandom, size: size, seed: seed}

@@ -82,6 +82,13 @@ func nextSeed() int64 {
 	return creationSeed.Add(1)
 }
 
+// ResetContentSeeds rewinds the global content-seed counter to its
+// process-start value. A fresh tuebench process is deterministic
+// because every run starts from this state; the golden-table
+// regression test and the determinism tests call this so repeated
+// in-process runs reproduce the shipped tables byte-for-byte.
+func ResetContentSeeds() { creationSeed.Store(10_000) }
+
 // seedSeq is a pre-reserved run of seeds for one experiment cell: the
 // cell draws from its private sequence in its own deterministic order,
 // no matter which worker runs it or when.

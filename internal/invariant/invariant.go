@@ -1,0 +1,234 @@
+// Package invariant is a reusable correctness harness for the sync
+// path. A Tracker records the operations a client believes succeeded —
+// uploads, downloads, deletions — and Check then compares that
+// expectation against a snapshot of the server's state and the wire
+// counters, after an arbitrary fault schedule has battered the
+// connection in between.
+//
+// The harness asserts four invariants that must survive any fault
+// schedule:
+//
+//  1. Convergence: every file the client committed exists server-side
+//     with byte-identical (MD5-equal) content, and every file the
+//     client deleted is gone (or fake-deleted).
+//  2. Monotone versions: the server-side version of a file never runs
+//     backwards, and each committed update strictly advances it.
+//  3. TUE floor: for fresh (never-before-seen) uncompressed content,
+//     the client must put at least as many bytes on the wire as the
+//     content it updated — TUE ≥ 1, the paper's lower bound for a sync
+//     protocol without compression to hide behind. Retransmissions and
+//     retries can only push TUE up, never below 1.
+//  4. Wire balance: the server cannot receive more client→server bytes
+//     than the client sent, and (on a lossless transport) the two
+//     counters must agree exactly.
+//
+// The package has no dependencies on the simulator or the live syncnet
+// stack; drivers adapt either side into ServerFile / Wire values.
+package invariant
+
+import (
+	"bytes"
+	"crypto/md5"
+	"fmt"
+	"sort"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Invariant names the broken property: "convergence", "versions",
+	// "tue-floor", or "wire-balance".
+	Invariant string
+	// Detail is a human-readable description of the breakage.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// ServerFile is one file's server-side state as seen by a driver's
+// snapshot. History is the number of versions the server ever stored
+// for the name; 0 means the driver cannot report it and disables the
+// history check.
+type ServerFile struct {
+	Data    []byte
+	Version uint64
+	Deleted bool
+	History int
+}
+
+// Wire carries the byte counters for the client→server direction.
+// The zero value means "no wire data recorded" and disables the wire
+// checks (balance and TUE floor).
+type Wire struct {
+	// ClientSent is the bytes the client actually put on the wire
+	// (after any fault truncation), across every attempt.
+	ClientSent int64
+	// ServerReceived is the bytes the server read off its client
+	// connections.
+	ServerReceived int64
+	// MaxLost bounds ClientSent − ServerReceived: bytes legitimately in
+	// flight when a connection was cut. 0 demands exact balance (right
+	// for synchronous transports like net.Pipe); −1 keeps only the sign
+	// check ServerReceived ≤ ClientSent (right for real TCP, where the
+	// kernel may buffer bytes a dying session never read).
+	MaxLost int64
+}
+
+func (w Wire) zero() bool {
+	return w.ClientSent == 0 && w.ServerReceived == 0 && w.MaxLost == 0
+}
+
+type trackedFile struct {
+	data     []byte
+	version  uint64
+	versions int // successful commits observed for this name
+	deleted  bool
+}
+
+// Tracker accumulates the client-side expectation while a driver
+// applies operations. It is not safe for concurrent use; drive it from
+// the goroutine that owns the client.
+type Tracker struct {
+	// Compressed marks a configuration where content is compressed on
+	// the wire, which can legitimately push traffic below the update
+	// size; it disables the TUE-floor check.
+	Compressed bool
+
+	files      map[string]*trackedFile
+	seen       map[[md5.Size]byte]bool
+	freshBytes int64
+	violations []Violation
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		files: make(map[string]*trackedFile),
+		seen:  make(map[[md5.Size]byte]bool),
+	}
+}
+
+func (t *Tracker) violatef(invariant, format string, args ...any) {
+	t.violations = append(t.violations, Violation{
+		Invariant: invariant, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// RecordUpload notes a committed upload: name now holds data at the
+// given server version. Content the tracker has never seen before
+// counts toward the TUE floor — deduplication cannot save bytes on
+// genuinely novel content, so the wire must carry at least that much.
+func (t *Tracker) RecordUpload(name string, data []byte, version uint64) {
+	f := t.files[name]
+	if f == nil {
+		f = &trackedFile{}
+		t.files[name] = f
+	} else if !f.deleted && version <= f.version {
+		t.violatef("versions", "%q: commit acknowledged version %d, not above previous %d",
+			name, version, f.version)
+	}
+	f.data = append([]byte(nil), data...)
+	f.version = version
+	f.versions++
+	f.deleted = false
+
+	sum := md5.Sum(data)
+	if !t.seen[sum] {
+		t.seen[sum] = true
+		t.freshBytes += int64(len(data))
+	}
+}
+
+// RecordDelete notes a successful deletion of name.
+func (t *Tracker) RecordDelete(name string) {
+	f := t.files[name]
+	if f == nil {
+		t.violatef("convergence", "%q: deletion succeeded for a file never uploaded", name)
+		return
+	}
+	f.deleted = true
+	f.data = nil
+}
+
+// RecordDownload checks a download against the tracked expectation —
+// the read-your-writes half of convergence.
+func (t *Tracker) RecordDownload(name string, data []byte) {
+	f := t.files[name]
+	switch {
+	case f == nil || f.deleted:
+		t.violatef("convergence", "%q: download succeeded for a file that should not exist", name)
+	case !bytes.Equal(f.data, data):
+		t.violatef("convergence", "%q: downloaded %d bytes (md5 %x), expected %d bytes (md5 %x)",
+			name, len(data), md5.Sum(data), len(f.data), md5.Sum(f.data))
+	}
+}
+
+// FreshBytes is the novel-content byte volume recorded so far — the
+// denominator of the TUE floor.
+func (t *Tracker) FreshBytes() int64 { return t.freshBytes }
+
+// Check compares the tracked expectation against a server snapshot and
+// the wire counters, returning every violation found (record-time
+// violations included). Server files the tracker never touched are
+// ignored: the tracker may deliberately hold a partial view.
+func (t *Tracker) Check(server map[string]ServerFile, w Wire) []Violation {
+	out := append([]Violation(nil), t.violations...)
+	report := func(invariant, format string, args ...any) {
+		out = append(out, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	names := make([]string, 0, len(t.files))
+	for name := range t.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := t.files[name]
+		sf, ok := server[name]
+		if f.deleted {
+			// Fake deletion may keep the entry with a Deleted flag, or
+			// the driver may omit deleted entries entirely.
+			if ok && !sf.Deleted {
+				report("convergence", "%q: deleted by the client but still live server-side (v%d, %d bytes)",
+					name, sf.Version, len(sf.Data))
+			}
+			if ok && sf.Version < f.version {
+				report("versions", "%q: server version %d ran backwards past committed %d",
+					name, sf.Version, f.version)
+			}
+			continue
+		}
+		if !ok || sf.Deleted {
+			report("convergence", "%q: committed at version %d but missing server-side", name, f.version)
+			continue
+		}
+		if !bytes.Equal(sf.Data, f.data) {
+			report("convergence", "%q: server holds %d bytes (md5 %x), client committed %d bytes (md5 %x)",
+				name, len(sf.Data), md5.Sum(sf.Data), len(f.data), md5.Sum(f.data))
+		}
+		if sf.Version < f.version {
+			report("versions", "%q: server version %d behind last acknowledged commit %d",
+				name, sf.Version, f.version)
+		}
+		if sf.History > 0 && sf.History < f.versions {
+			report("versions", "%q: server stored %d versions, client committed %d",
+				name, sf.History, f.versions)
+		}
+	}
+
+	if !w.zero() {
+		if !t.Compressed && t.freshBytes > 0 && w.ClientSent < t.freshBytes {
+			report("tue-floor", "client sent %d bytes for %d bytes of fresh uncompressed content (TUE %.3f < 1)",
+				w.ClientSent, t.freshBytes, float64(w.ClientSent)/float64(t.freshBytes))
+		}
+		if w.ServerReceived > w.ClientSent {
+			report("wire-balance", "server received %d bytes but the client only sent %d",
+				w.ServerReceived, w.ClientSent)
+		}
+		if lost := w.ClientSent - w.ServerReceived; w.MaxLost >= 0 && lost > w.MaxLost {
+			report("wire-balance", "%d client bytes unaccounted for (sent %d, received %d, allowed loss %d)",
+				lost, w.ClientSent, w.ServerReceived, w.MaxLost)
+		}
+	}
+	return out
+}

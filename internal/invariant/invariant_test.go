@@ -1,0 +1,225 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func content(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// hasViolation reports whether any violation of the given invariant
+// mentions substr.
+func hasViolation(vs []Violation, invariant, substr string) bool {
+	for _, v := range vs {
+		if v.Invariant == invariant && strings.Contains(v.Detail, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckPassesOnConvergedState(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordUpload("a", content('a', 100), 1)
+	tr.RecordUpload("a", content('b', 120), 2)
+	tr.RecordUpload("b", content('c', 50), 1)
+	tr.RecordDownload("a", content('b', 120))
+	tr.RecordDelete("b")
+
+	server := map[string]ServerFile{
+		"a": {Data: content('b', 120), Version: 2, History: 2},
+		"b": {Data: content('c', 50), Version: 1, Deleted: true, History: 1},
+	}
+	w := Wire{ClientSent: 400, ServerReceived: 400, MaxLost: 0}
+	if vs := tr.Check(server, w); len(vs) != 0 {
+		t.Fatalf("converged state reported violations: %v", vs)
+	}
+	if got := tr.FreshBytes(); got != 270 {
+		t.Fatalf("FreshBytes = %d, want 270", got)
+	}
+}
+
+func TestCheckFlagsContentDivergence(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordUpload("a", content('a', 100), 1)
+	server := map[string]ServerFile{"a": {Data: content('x', 100), Version: 1}}
+	vs := tr.Check(server, Wire{})
+	if !hasViolation(vs, "convergence", `"a"`) {
+		t.Fatalf("divergent content not flagged: %v", vs)
+	}
+}
+
+func TestCheckFlagsMissingAndResurrectedFiles(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordUpload("gone", content('a', 10), 1)
+	tr.RecordUpload("zombie", content('b', 10), 1)
+	tr.RecordDelete("zombie")
+	server := map[string]ServerFile{
+		"zombie": {Data: content('b', 10), Version: 1}, // still live
+	}
+	vs := tr.Check(server, Wire{})
+	if !hasViolation(vs, "convergence", `"gone"`) {
+		t.Fatalf("missing file not flagged: %v", vs)
+	}
+	if !hasViolation(vs, "convergence", `"zombie"`) {
+		t.Fatalf("resurrected file not flagged: %v", vs)
+	}
+}
+
+func TestCheckFlagsVersionProblems(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordUpload("a", content('a', 10), 5)
+	tr.RecordUpload("a", content('b', 10), 5) // not strictly increasing
+	if vs := tr.Check(map[string]ServerFile{"a": {Data: content('b', 10), Version: 5}}, Wire{}); !hasViolation(vs, "versions", "not above previous") {
+		t.Fatalf("stuck commit version not flagged: %v", vs)
+	}
+
+	tr = NewTracker()
+	tr.RecordUpload("a", content('a', 10), 7)
+	server := map[string]ServerFile{"a": {Data: content('a', 10), Version: 3}}
+	if vs := tr.Check(server, Wire{}); !hasViolation(vs, "versions", "behind last acknowledged") {
+		t.Fatalf("server version regression not flagged: %v", vs)
+	}
+
+	tr = NewTracker()
+	tr.RecordUpload("a", content('a', 10), 1)
+	tr.RecordUpload("a", content('b', 10), 2)
+	server = map[string]ServerFile{"a": {Data: content('b', 10), Version: 2, History: 1}}
+	if vs := tr.Check(server, Wire{}); !hasViolation(vs, "versions", "stored 1 versions") {
+		t.Fatalf("shallow history not flagged: %v", vs)
+	}
+}
+
+func TestRecordDownloadMismatch(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordUpload("a", content('a', 10), 1)
+	tr.RecordDownload("a", content('x', 10))
+	tr.RecordDownload("ghost", content('y', 3))
+	vs := tr.Check(map[string]ServerFile{"a": {Data: content('a', 10), Version: 1}}, Wire{})
+	if !hasViolation(vs, "convergence", "downloaded") {
+		t.Fatalf("download mismatch not flagged: %v", vs)
+	}
+	if !hasViolation(vs, "convergence", `"ghost"`) {
+		t.Fatalf("download of nonexistent file not flagged: %v", vs)
+	}
+}
+
+func TestCheckFlagsTUEFloor(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordUpload("a", content('a', 1000), 1)
+	server := map[string]ServerFile{"a": {Data: content('a', 1000), Version: 1}}
+	vs := tr.Check(server, Wire{ClientSent: 500, ServerReceived: 500, MaxLost: 0})
+	if !hasViolation(vs, "tue-floor", "TUE") {
+		t.Fatalf("TUE < 1 not flagged: %v", vs)
+	}
+
+	// Compression legitimately shrinks traffic below the update size.
+	tr.Compressed = true
+	if vs := tr.Check(server, Wire{ClientSent: 500, ServerReceived: 500, MaxLost: 0}); len(vs) != 0 {
+		t.Fatalf("compressed config still flagged the floor: %v", vs)
+	}
+
+	// Re-uploading already-seen content is not fresh; dedup may skip it.
+	tr = NewTracker()
+	tr.RecordUpload("a", content('a', 1000), 1)
+	tr.RecordUpload("b", content('a', 1000), 1) // same bytes, other name
+	if got := tr.FreshBytes(); got != 1000 {
+		t.Fatalf("FreshBytes = %d, want 1000 (duplicate content must not count)", got)
+	}
+}
+
+func TestCheckFlagsWireImbalance(t *testing.T) {
+	tr := NewTracker()
+	server := map[string]ServerFile{}
+
+	vs := tr.Check(server, Wire{ClientSent: 100, ServerReceived: 200, MaxLost: -1})
+	if !hasViolation(vs, "wire-balance", "only sent") {
+		t.Fatalf("server receiving phantom bytes not flagged: %v", vs)
+	}
+
+	vs = tr.Check(server, Wire{ClientSent: 300, ServerReceived: 200, MaxLost: 0})
+	if !hasViolation(vs, "wire-balance", "unaccounted") {
+		t.Fatalf("lost bytes under exact balance not flagged: %v", vs)
+	}
+
+	// Sign-check mode tolerates kernel-buffered loss.
+	if vs := tr.Check(server, Wire{ClientSent: 300, ServerReceived: 200, MaxLost: -1}); len(vs) != 0 {
+		t.Fatalf("sign-check mode flagged buffered loss: %v", vs)
+	}
+
+	// The zero Wire disables wire checks entirely.
+	tr.RecordUpload("a", content('a', 1000), 1)
+	if vs := tr.Check(map[string]ServerFile{"a": {Data: content('a', 1000), Version: 1}}, (Wire{})); len(vs) != 0 {
+		t.Fatalf("zero wire value ran wire checks: %v", vs)
+	}
+}
+
+func TestGenOpsDeterministicAndValid(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := GenOps(seed, 12)
+		b := GenOps(seed, 12)
+		if len(a) != 12 {
+			t.Fatalf("seed %d: got %d ops, want 12", seed, len(a))
+		}
+		live := make(map[string]bool)
+		for i, op := range a {
+			if op != b[i] {
+				t.Fatalf("seed %d: op %d differs between runs: %v vs %v", seed, i, op, b[i])
+			}
+			switch op.Kind {
+			case OpPut:
+				if op.Size < 1<<10 || op.Size > 25<<10 {
+					t.Fatalf("seed %d: put size %d outside [1KiB, 25KiB]", seed, op.Size)
+				}
+				live[op.Name] = true
+			case OpGet:
+				if !live[op.Name] {
+					t.Fatalf("seed %d: get of dead file %q at op %d", seed, op.Name, i)
+				}
+			case OpDelete:
+				if !live[op.Name] {
+					t.Fatalf("seed %d: delete of dead file %q at op %d", seed, op.Name, i)
+				}
+				live[op.Name] = false
+			}
+		}
+	}
+	if a, b := GenOps(1, 12), GenOps(2, 12); a[0] == b[0] && a[1] == b[1] && a[2] == b[2] {
+		t.Fatalf("adjacent seeds generated identical op prefixes: %v", a[:3])
+	}
+}
+
+func TestGenOpsContentSeedsAreNovel(t *testing.T) {
+	seen := make(map[int64]bool)
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, op := range GenOps(seed, 10) {
+			if op.Kind != OpPut {
+				continue
+			}
+			if seen[op.ContentSeed] {
+				t.Fatalf("content seed %d reused", op.ContentSeed)
+			}
+			seen[op.ContentSeed] = true
+		}
+	}
+}
+
+func TestShrinkPrefix(t *testing.T) {
+	if got := ShrinkPrefix(10, func(k int) bool { return k >= 4 }); got != 4 {
+		t.Fatalf("ShrinkPrefix = %d, want 4", got)
+	}
+	// Failure only at full length.
+	if got := ShrinkPrefix(10, func(k int) bool { return k >= 10 }); got != 10 {
+		t.Fatalf("ShrinkPrefix = %d, want 10", got)
+	}
+	// Pathological fails that never returns true still terminates at n.
+	if got := ShrinkPrefix(3, func(int) bool { return false }); got != 3 {
+		t.Fatalf("ShrinkPrefix = %d, want 3", got)
+	}
+}

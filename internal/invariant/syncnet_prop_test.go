@@ -1,0 +1,225 @@
+package invariant_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"cloudsync/internal/content"
+	"cloudsync/internal/invariant"
+	"cloudsync/internal/syncnet"
+)
+
+// planForSeed derives the fault schedule for one property run. Every
+// fifth seed runs fault-free (the scheduler still counts bytes), the
+// rest cut connections after a seeded 2–30 KB budget, up to 3 times —
+// always fewer than the retry policy's attempts, so a run can never be
+// starved by its own schedule.
+func planForSeed(seed uint64) syncnet.FaultPlan {
+	if seed%5 == 0 {
+		return syncnet.FaultPlan{}
+	}
+	return syncnet.FaultPlan{
+		Seed:          seed*0x9e3779b9 + 1,
+		MeanDropBytes: 4096 + int64(seed%7)*4096,
+		MaxDrops:      1 + int(seed%3),
+	}
+}
+
+func retryForSeed(seed uint64, sleep func(time.Duration)) syncnet.ClientOption {
+	return syncnet.WithRetry(syncnet.RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        seed + 1,
+		Sleep:       sleep,
+	})
+}
+
+// applyOp drives one generated operation through a live client,
+// recording the outcome in the tracker.
+func applyOp(c *syncnet.Client, tr *invariant.Tracker, op invariant.Op) error {
+	switch op.Kind {
+	case invariant.OpPut:
+		data := content.Random(op.Size, op.ContentSeed).Bytes()
+		stats, err := c.Upload(op.Name, data)
+		if err != nil {
+			return fmt.Errorf("%v: %w", op, err)
+		}
+		tr.RecordUpload(op.Name, data, stats.Version)
+	case invariant.OpGet:
+		data, err := c.Download(op.Name)
+		if err != nil {
+			return fmt.Errorf("%v: %w", op, err)
+		}
+		tr.RecordDownload(op.Name, data)
+	case invariant.OpDelete:
+		if err := c.Delete(op.Name); err != nil {
+			return fmt.Errorf("%v: %w", op, err)
+		}
+		tr.RecordDelete(op.Name)
+	default:
+		return fmt.Errorf("unknown op %v", op)
+	}
+	return nil
+}
+
+func toServerFiles(snap map[string]syncnet.FileState) map[string]invariant.ServerFile {
+	out := make(map[string]invariant.ServerFile, len(snap))
+	for name, f := range snap {
+		out[name] = invariant.ServerFile{
+			Data: f.Data, Version: f.Version, Deleted: f.Deleted, History: f.History,
+		}
+	}
+	return out
+}
+
+// runPipe replays ops against a fresh server over net.Pipe under the
+// seed's fault schedule and returns every invariant violation (op
+// errors included as synthetic violations, so shrinking sees them).
+// net.Pipe is fully synchronous — a Write returns only once the peer
+// consumed the bytes — so the wire balance is checked exactly.
+func runPipe(seed uint64, ops []invariant.Op) []invariant.Violation {
+	srv := syncnet.NewServer(syncnet.ServerConfig{})
+	sched := syncnet.NewFaultScheduler(planForSeed(seed))
+
+	// The dialer hands out pipe connections and, before redialing,
+	// waits for the previous connection's handler to unwind — by then
+	// any interrupted upload has been stashed, so a ResumeQuery on the
+	// new connection deterministically sees it.
+	var prevDone chan struct{}
+	dial := func() (net.Conn, error) {
+		if prevDone != nil {
+			<-prevDone
+		}
+		clientEnd, serverEnd := net.Pipe()
+		done := make(chan struct{})
+		prevDone = done
+		go func() {
+			defer close(done)
+			srv.HandleConn(serverEnd)
+		}()
+		return sched.Wrap(clientEnd), nil
+	}
+
+	fail := func(err error) []invariant.Violation {
+		return []invariant.Violation{{Invariant: "driver", Detail: err.Error()}}
+	}
+	conn, err := dial()
+	if err != nil {
+		return fail(err)
+	}
+	c, err := syncnet.NewClient(conn, "alice", "prop",
+		syncnet.WithDialer(dial), retryForSeed(seed, func(time.Duration) {}))
+	if err != nil {
+		return fail(err)
+	}
+
+	tr := invariant.NewTracker()
+	for _, op := range ops {
+		if err := applyOp(c, tr, op); err != nil {
+			c.Close()
+			<-prevDone
+			return fail(err)
+		}
+	}
+	c.Close()
+	<-prevDone // the last handler has drained its reads and stashed
+
+	stats := srv.Stats()
+	return tr.Check(toServerFiles(srv.Snapshot("alice")), invariant.Wire{
+		ClientSent:     sched.Stats().BytesWritten,
+		ServerReceived: stats.BytesReceived,
+		MaxLost:        0,
+	})
+}
+
+// reportShrunk re-runs a failing scenario on ever-shorter prefixes and
+// fails the test with the minimal reproduction.
+func reportShrunk(t *testing.T, seed uint64, ops []invariant.Op,
+	vs []invariant.Violation, run func(uint64, []invariant.Op) []invariant.Violation) {
+	t.Helper()
+	k := invariant.ShrinkPrefix(len(ops), func(k int) bool {
+		return len(run(seed, ops[:k])) > 0
+	})
+	t.Errorf("seed %d: %d violation(s): %v\nminimal failing prefix (%d of %d ops): %v",
+		seed, len(vs), vs, k, len(ops), ops[:k])
+}
+
+// TestSyncnetPipeInvariants is the acceptance property: 200 seeded
+// fault schedules × seeded edit sequences over a synchronous pipe
+// transport, with exact wire-balance accounting.
+func TestSyncnetPipeInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		ops := invariant.GenOps(seed, 5+int(seed%6))
+		if vs := runPipe(seed, ops); len(vs) > 0 {
+			reportShrunk(t, seed, ops, vs, runPipe)
+			return
+		}
+	}
+}
+
+// runTCP replays ops against a server on a real loopback listener.
+// The kernel may buffer bytes a dying session never read, so the wire
+// balance degrades to the sign check (received ≤ sent).
+func runTCP(seed uint64, ops []invariant.Op) []invariant.Violation {
+	fail := func(err error) []invariant.Violation {
+		return []invariant.Violation{{Invariant: "driver", Detail: err.Error()}}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	srv := syncnet.NewServer(syncnet.ServerConfig{})
+	go srv.Serve(l)
+	defer srv.Close()
+
+	sched := syncnet.NewFaultScheduler(planForSeed(seed))
+	addr := l.Addr().String()
+	dial := func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return sched.Wrap(conn), nil
+	}
+
+	conn, err := dial()
+	if err != nil {
+		return fail(err)
+	}
+	c, err := syncnet.NewClient(conn, "alice", "prop", syncnet.WithDialer(dial), retryForSeed(seed, nil))
+	if err != nil {
+		return fail(err)
+	}
+
+	tr := invariant.NewTracker()
+	for _, op := range ops {
+		if err := applyOp(c, tr, op); err != nil {
+			c.Close()
+			return fail(err)
+		}
+	}
+	c.Close()
+	srv.Close() // waits for every handler, so the counters are final
+
+	stats := srv.Stats()
+	return tr.Check(toServerFiles(srv.Snapshot("alice")), invariant.Wire{
+		ClientSent:     sched.Stats().BytesWritten,
+		ServerReceived: stats.BytesReceived,
+		MaxLost:        -1,
+	})
+}
+
+// TestSyncnetTCPInvariants runs a smaller band of seeds over real TCP
+// loopback connections — same invariants, kernel buffering and all.
+func TestSyncnetTCPInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		ops := invariant.GenOps(seed, 5+int(seed%6))
+		if vs := runTCP(seed, ops); len(vs) > 0 {
+			reportShrunk(t, seed, ops, vs, runTCP)
+			return
+		}
+	}
+}

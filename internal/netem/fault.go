@@ -1,0 +1,197 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// FaultProfile describes a link's failure behaviour: per-exchange
+// packet loss, connection drops, and transient stalls. All randomness
+// is drawn from a private PRNG fixed by Seed when the profile is bound
+// to a Path, so a given (workload, profile) pair always produces the
+// same fault schedule — the same determinism contract the experiment
+// harness applies to content seeds (schedules are fixed at task-build
+// time, never by worker scheduling).
+//
+// The zero profile injects nothing; a Link with a nil Faults pointer is
+// the ideal, loss-free pipe the seed repository modelled.
+type FaultProfile struct {
+	// Seed fixes the fault schedule. Two paths with the same profile and
+	// the same workload see identical faults.
+	Seed uint64
+	// LossProb is the probability that one application exchange is lost
+	// in transit and must be retransmitted after a timeout. Each
+	// retransmission is charged to the wire again — this is how
+	// retransmission traffic enters TUE. Must be in [0, 1).
+	LossProb float64
+	// RetryTimeout is the retransmission timeout paid before re-sending
+	// a lost exchange. 0 picks a Jacobson-style adaptive default of
+	// 2×RTT + 200 ms for the path's link.
+	RetryTimeout time.Duration
+	// MeanDropInterval is the mean time between connection drops
+	// (exponential inter-arrival). A drop tears the connection down; the
+	// next exchange pays a fresh TCP+TLS handshake. 0 disables drops.
+	MeanDropInterval time.Duration
+	// MeanStallInterval is the mean time between transient stalls
+	// (exponential inter-arrival); StallDuration is how long each stall
+	// freezes the path. Stalls model bufferbloat/radio wakeup pauses:
+	// they cost time, not bytes. 0 disables stalls.
+	MeanStallInterval time.Duration
+	StallDuration     time.Duration
+}
+
+// maxLossRetries bounds consecutive losses of one exchange so a
+// pathological LossProb cannot hang the simulation.
+const maxLossRetries = 64
+
+func (f *FaultProfile) validate() {
+	if f == nil {
+		return
+	}
+	if f.LossProb < 0 || f.LossProb >= 1 {
+		panic(fmt.Sprintf("netem: loss probability %v outside [0, 1)", f.LossProb))
+	}
+	if f.RetryTimeout < 0 || f.MeanDropInterval < 0 || f.MeanStallInterval < 0 || f.StallDuration < 0 {
+		panic(fmt.Sprintf("netem: negative fault interval %+v", *f))
+	}
+}
+
+func (f *FaultProfile) retryTimeout(rtt time.Duration) time.Duration {
+	if f.RetryTimeout > 0 {
+		return f.RetryTimeout
+	}
+	return 2*rtt + 200*time.Millisecond
+}
+
+// FaultyBeijing returns the Beijing vantage point degraded the way the
+// paper's weak-network discussion describes it: a few percent exchange
+// loss, a connection drop every ~45 s, and a 2 s stall every ~30 s.
+func FaultyBeijing() Link {
+	l := Beijing()
+	l.Faults = &FaultProfile{
+		Seed:              0xFA17,
+		LossProb:          0.02,
+		MeanDropInterval:  45 * time.Second,
+		MeanStallInterval: 30 * time.Second,
+		StallDuration:     2 * time.Second,
+	}
+	return l
+}
+
+// FaultStats counts the faults a path injected so far.
+type FaultStats struct {
+	// Retransmits is the number of lost exchanges that had to be resent.
+	Retransmits int
+	// Drops is the number of connection teardowns injected.
+	Drops int
+	// Stalls is the number of transient stalls an exchange waited out.
+	Stalls int
+}
+
+// faultState is the per-path fault machinery: the seeded PRNG and the
+// next scheduled drop/stall arrival on the sim clock.
+type faultState struct {
+	profile   FaultProfile
+	rng       xorshift
+	nextDrop  time.Duration
+	nextStall time.Duration
+	stats     FaultStats
+}
+
+func newFaultState(f *FaultProfile, now time.Duration) *faultState {
+	if f == nil {
+		return nil
+	}
+	f.validate()
+	st := &faultState{profile: *f, rng: newXorshift(f.Seed)}
+	if f.MeanDropInterval > 0 {
+		st.nextDrop = now + st.rng.expSample(f.MeanDropInterval)
+	}
+	if f.MeanStallInterval > 0 && f.StallDuration > 0 {
+		st.nextStall = now + st.rng.expSample(f.MeanStallInterval)
+	}
+	return st
+}
+
+// stallUntil applies any stall window that covers time at and advances
+// the stall schedule past at. Stalls that elapsed entirely while the
+// path was idle cost nothing.
+func (st *faultState) stallUntil(at time.Duration) time.Duration {
+	for st.nextStall > 0 && at >= st.nextStall {
+		end := st.nextStall + st.profile.StallDuration
+		if at < end {
+			at = end
+			st.stats.Stalls++
+		}
+		st.nextStall = end + st.rng.expSample(st.profile.MeanStallInterval)
+	}
+	return at
+}
+
+// dropDue reports whether a connection drop arrived at or before time
+// at, consuming the arrival and scheduling the next one.
+func (st *faultState) dropDue(at time.Duration) bool {
+	if st.nextDrop == 0 || at < st.nextDrop {
+		return false
+	}
+	due := st.nextDrop
+	st.nextDrop = due + st.rng.expSample(st.profile.MeanDropInterval)
+	st.stats.Drops++
+	return true
+}
+
+// lossAttempts draws how many times one exchange must be sent before it
+// gets through: 1 plus a geometric number of losses.
+func (st *faultState) lossAttempts() int {
+	attempts := 1
+	for st.profile.LossProb > 0 && st.rng.float() < st.profile.LossProb && attempts < maxLossRetries {
+		attempts++
+	}
+	st.stats.Retransmits += attempts - 1
+	return attempts
+}
+
+// xorshift is the simulator's tiny deterministic PRNG. The draw
+// sequence is frozen independent of Go releases, which keeps fault
+// schedules byte-stable across toolchains.
+type xorshift uint64
+
+// newXorshift runs the seed through a splitmix64 finalizer so small
+// consecutive seeds (0, 1, 2, …) still start from well-spread states —
+// raw xorshift needs many steps to diffuse a low-entropy seed.
+func newXorshift(seed uint64) xorshift {
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return xorshift(z)
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// float returns a uniform draw in [0, 1).
+func (x *xorshift) float() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}
+
+// expSample draws an exponential duration with the given mean, clamped
+// away from zero.
+func (x *xorshift) expSample(mean time.Duration) time.Duration {
+	u := x.float() + 1e-12
+	d := -float64(mean) * math.Log(u)
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}

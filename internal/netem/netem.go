@@ -26,6 +26,10 @@ type Link struct {
 	UpBps, DownBps int64
 	// RTT is the round-trip time.
 	RTT time.Duration
+	// Faults, when non-nil, makes the link imperfect: seeded packet
+	// loss, connection drops, and stalls (see FaultProfile). Nil is the
+	// ideal loss-free pipe.
+	Faults *FaultProfile
 }
 
 // Minnesota returns the paper's "close to the cloud" vantage point:
@@ -55,6 +59,7 @@ func (l Link) validate() {
 	if l.RTT < 0 {
 		panic(fmt.Sprintf("netem: negative RTT %+v", l))
 	}
+	l.Faults.validate()
 }
 
 // UpTime reports how long bytes take to serialize onto the uplink.
@@ -92,6 +97,7 @@ type Path struct {
 	persistent bool
 	busyUntil  time.Duration
 	sessions   int
+	faults     *faultState
 }
 
 // NewPath constructs a path. persistent controls whether the underlying
@@ -102,7 +108,10 @@ func NewPath(clock *simclock.Clock, link Link, conn *wire.Conn, persistent bool)
 		panic("netem: NewPath with nil clock or conn")
 	}
 	link.validate()
-	return &Path{clock: clock, link: link, conn: conn, persistent: persistent}
+	return &Path{
+		clock: clock, link: link, conn: conn, persistent: persistent,
+		faults: newFaultState(link.Faults, clock.Now()),
+	}
 }
 
 // Link returns the path's link parameters.
@@ -110,9 +119,23 @@ func (p *Path) Link() Link { return p.link }
 
 // SetLink swaps the link parameters (used by controlled bandwidth and
 // latency sweeps). It does not affect sessions already in flight.
+// Swapping in a different fault profile restarts its schedule from the
+// current sim time.
 func (p *Path) SetLink(l Link) {
 	l.validate()
+	if l.Faults != p.link.Faults {
+		p.faults = newFaultState(l.Faults, p.clock.Now())
+	}
 	p.link = l
+}
+
+// FaultStats reports the faults injected on this path so far (zero for
+// fault-free links).
+func (p *Path) FaultStats() FaultStats {
+	if p.faults == nil {
+		return FaultStats{}
+	}
+	return p.faults.stats
 }
 
 // Conn exposes the underlying connection (for tests and teardown).
@@ -138,22 +161,12 @@ func (p *Path) Do(exchanges []Exchange, serverTime time.Duration, done func(end 
 		start = p.busyUntil
 	}
 	p.sessions++
-	at := start
-	if !p.conn.Established() {
-		up, down := p.conn.Open(at)
-		at += time.Duration(wire.HandshakeRTTs) * p.link.RTT
-		at += p.link.UpTime(up) + p.link.DownTime(down)
-	}
+	at := p.open(start)
 	for _, ex := range exchanges {
 		if ex.UpApp < 0 || ex.DownApp < 0 {
 			panic("netem: exchange with negative size")
 		}
-		up, down := p.conn.Request(at, ex.UpApp, ex.DownApp, ex.Kind)
-		at += p.link.RTT // request/response latency
-		at += p.link.UpTime(up) + p.link.DownTime(down)
-		if ex.ExtraRTTs > 0 {
-			at += time.Duration(ex.ExtraRTTs) * p.link.RTT
-		}
+		at = p.exchange(at, ex)
 	}
 	at += serverTime
 	if !p.persistent {
@@ -167,6 +180,47 @@ func (p *Path) Do(exchanges []Exchange, serverTime time.Duration, done func(end 
 		}
 	})
 	return end
+}
+
+// open ensures the connection is established at time at, paying the
+// handshake when it is not, and returns the time the path is usable.
+func (p *Path) open(at time.Duration) time.Duration {
+	if p.conn.Established() {
+		return at
+	}
+	up, down := p.conn.Open(at)
+	at += time.Duration(wire.HandshakeRTTs) * p.link.RTT
+	return at + p.link.UpTime(up) + p.link.DownTime(down)
+}
+
+// exchange runs one request/response at time at and returns its
+// completion time, applying the link's fault schedule: stalls freeze
+// the path, due connection drops tear it down (the exchange then pays
+// a fresh handshake), and lost exchanges are retransmitted after a
+// timeout with every attempt charged to the wire — which is how
+// retransmission traffic reaches the capture and therefore TUE.
+func (p *Path) exchange(at time.Duration, ex Exchange) time.Duration {
+	attempts := 1
+	if st := p.faults; st != nil {
+		at = st.stallUntil(at)
+		if st.dropDue(at) && p.conn.Established() {
+			p.conn.Close(at)
+			at = p.open(at)
+		}
+		attempts = st.lossAttempts()
+	}
+	for i := 0; i < attempts; i++ {
+		up, down := p.conn.Request(at, ex.UpApp, ex.DownApp, ex.Kind)
+		at += p.link.RTT // request/response latency
+		at += p.link.UpTime(up) + p.link.DownTime(down)
+		if i < attempts-1 {
+			at += p.faults.profile.retryTimeout(p.link.RTT)
+		}
+	}
+	if ex.ExtraRTTs > 0 {
+		at += time.Duration(ex.ExtraRTTs) * p.link.RTT
+	}
+	return at
 }
 
 // Push delivers a server-initiated message (notification) to the client

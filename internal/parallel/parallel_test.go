@@ -124,3 +124,68 @@ func TestDoCountsEveryIndex(t *testing.T) {
 		}
 	}
 }
+
+// TestPanicReRaisedAtEveryIndex pins the panic contract across the
+// whole index range: wherever the failing task lands relative to the
+// worker stripes, Map re-panics with that task's index and value, and
+// every other task still runs exactly once.
+func TestPanicReRaisedAtEveryIndex(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	const n = 16
+	for fail := 0; fail < n; fail++ {
+		ran := make([]atomic.Int64, n)
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("fail=%d: panic did not propagate", fail)
+				}
+				pe, ok := v.(*panicError)
+				if !ok {
+					t.Fatalf("fail=%d: recovered %T, want *panicError", fail, v)
+				}
+				if pe.index != fail {
+					t.Fatalf("fail=%d: panic index = %d", fail, pe.index)
+				}
+				if !strings.Contains(pe.Error(), "boom") {
+					t.Fatalf("fail=%d: panic message %q lost the cause", fail, pe.Error())
+				}
+			}()
+			Map(make([]struct{}, n), func(i int, _ struct{}) int {
+				ran[i].Add(1)
+				if i == fail {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("fail=%d: task %d ran %d times, want 1", fail, i, got)
+			}
+		}
+	}
+}
+
+// TestPanicInlinePathPropagatesRawValue covers the workers=1 inline
+// path, where the panic is not wrapped: the caller sees the original
+// value, exactly as a plain sequential loop would raise it.
+func TestPanicInlinePathPropagatesRawValue(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	for fail := 0; fail < 4; fail++ {
+		func() {
+			defer func() {
+				if v := recover(); v != "inline boom" {
+					t.Fatalf("fail=%d: recovered %v, want raw panic value", fail, v)
+				}
+			}()
+			Do(4, func(i int) {
+				if i == fail {
+					panic("inline boom")
+				}
+			})
+		}()
+	}
+}

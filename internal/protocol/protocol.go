@@ -72,6 +72,10 @@ func (t MsgType) String() string {
 		return "delta"
 	case TypeError:
 		return "error"
+	case TypeResumeQuery:
+		return "resume-query"
+	case TypeResumeInfo:
+		return "resume-info"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -233,6 +237,10 @@ func Decode(data []byte) (Message, error) {
 		m = &DeltaMsg{}
 	case TypeError:
 		m = &Error{}
+	case TypeResumeQuery:
+		m = &ResumeQuery{}
+	case TypeResumeInfo:
+		m = &ResumeInfo{}
 	default:
 		return nil, fmt.Errorf("protocol: unknown message type %d", t)
 	}

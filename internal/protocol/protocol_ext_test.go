@@ -14,6 +14,8 @@ func extMessages() []Message {
 		&SignatureMsg{Name: "a.bin", Payload: []byte{1, 2, 3, 4, 5}},
 		&DeltaMsg{Name: "a.bin", Payload: []byte("delta bytes")},
 		&Error{Code: ErrNotFound, Msg: "no such file"},
+		&ResumeQuery{Name: "a.bin", Size: 4 << 20, FileHash: Fingerprint{9, 8, 7}},
+		&ResumeInfo{FileID: 12, Offset: 3 << 20},
 	}
 }
 

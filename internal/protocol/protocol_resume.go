@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+)
+
+// Resume message types: after a connection failure mid-upload, a client
+// asks the server how much of the interrupted transfer it already holds
+// so only the unacknowledged tail is re-sent.
+const (
+	// TypeResumeQuery asks whether the server holds a partial upload
+	// matching the given identity.
+	TypeResumeQuery MsgType = iota + 15
+	// TypeResumeInfo answers a ResumeQuery with the byte offset the
+	// client should continue from.
+	TypeResumeInfo
+)
+
+// ResumeQuery identifies an interrupted upload by the same triple the
+// server stashes partial buffers under: name, final size, and content
+// hash. The hash guards against resuming onto a buffer from an older
+// edit of the same file.
+type ResumeQuery struct {
+	Name     string
+	Size     int64
+	FileHash Fingerprint
+}
+
+// Type implements Message.
+func (*ResumeQuery) Type() MsgType { return TypeResumeQuery }
+
+// ResumeInfo reports the server's progress on a partial upload. Offset
+// is the number of payload bytes already durably received (0 when the
+// server holds nothing — the client starts over). FileID is the upload
+// handle the continuation Data messages must carry.
+type ResumeInfo struct {
+	FileID uint64
+	Offset int64
+}
+
+// Type implements Message.
+func (*ResumeInfo) Type() MsgType { return TypeResumeInfo }
+
+func (m *ResumeQuery) encodeBody(b *bytes.Buffer) {
+	putString(b, m.Name)
+	binary.Write(b, binary.LittleEndian, m.Size)
+	b.Write(m.FileHash[:])
+}
+
+func (m *ResumeQuery) decodeBody(r *bytes.Reader) (err error) {
+	if m.Name, err = getString(r); err != nil {
+		return err
+	}
+	if err = binary.Read(r, binary.LittleEndian, &m.Size); err != nil {
+		return err
+	}
+	_, err = io.ReadFull(r, m.FileHash[:])
+	return err
+}
+
+func (m *ResumeInfo) encodeBody(b *bytes.Buffer) {
+	binary.Write(b, binary.LittleEndian, m.FileID)
+	binary.Write(b, binary.LittleEndian, m.Offset)
+}
+
+func (m *ResumeInfo) decodeBody(r *bytes.Reader) error {
+	if err := binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+		return err
+	}
+	return binary.Read(r, binary.LittleEndian, &m.Offset)
+}

@@ -17,10 +17,15 @@ type UploadStats struct {
 	// DeltaSync: the file was updated incrementally from a signature.
 	DeltaSync bool
 	// PayloadBytes is the content payload put on the wire (after
-	// compression / delta reduction).
+	// compression / delta reduction) by the final, successful attempt.
 	PayloadBytes int
 	// Version is the committed server-side version.
 	Version uint64
+	// Attempts is how many tries the upload took (1 = no faults).
+	Attempts int
+	// ResumedFrom is the payload offset the successful attempt continued
+	// from (0 when the upload never resumed).
+	ResumedFrom int64
 }
 
 // Client is a sync client for one user over one connection. It is not
@@ -28,8 +33,12 @@ type UploadStats struct {
 type Client struct {
 	conn        net.Conn
 	user        string
+	device      string
 	compression comp.Level
 	blockSize   int
+	retry       RetryPolicy
+	dialer      func() (net.Conn, error)
+	jitterRNG   jitterXorshift
 
 	ids   map[string]uint64
 	known map[string]bool // names known to exist server-side
@@ -57,27 +66,32 @@ func NewClient(conn net.Conn, user, device string, opts ...ClientOption) (*Clien
 		return nil, fmt.Errorf("syncnet: empty user")
 	}
 	c := &Client{
-		conn:  conn,
-		user:  user,
-		ids:   make(map[string]uint64),
-		known: make(map[string]bool),
+		conn:   conn,
+		user:   user,
+		device: device,
+		ids:    make(map[string]uint64),
+		known:  make(map[string]bool),
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.jitterRNG = newJitterRNG(c.retry.Seed)
 	if err := send(conn, &protocol.Hello{User: user, Device: device, Version: "cloudsync/1"}); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// Dial connects to a server and starts a session.
+// Dial connects to a server and starts a session. It installs a
+// redialing transport factory, so a retry policy set via WithRetry can
+// reconnect after transport failures (WithDialer overrides it).
 func Dial(network, addr, user, device string, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("syncnet: dial: %w", err)
 	}
-	c, err := NewClient(conn, user, device, opts...)
+	redial := func() (net.Conn, error) { return net.Dial(network, addr) }
+	c, err := NewClient(conn, user, device, append([]ClientOption{WithDialer(redial)}, opts...)...)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -102,11 +116,26 @@ func (c *Client) read() (protocol.Message, error) {
 // Upload synchronizes data under name. For a file the server already
 // holds, it tries incremental (rsync) sync against the server's
 // signature; otherwise it performs a full upload with dedup probing
-// and compression.
+// and compression. Under a retry policy, transport failures reconnect
+// and retry: the delta path re-requests the signature (idempotent —
+// the signature reflects whatever the server holds now), and the full
+// path asks the server how much of the interrupted payload it already
+// buffered, re-sending only the unacknowledged tail.
 func (c *Client) Upload(name string, data []byte) (UploadStats, error) {
+	var stats UploadStats
+	err := c.withRetry(func(attempt int) error {
+		var err error
+		stats, err = c.uploadOnce(name, data, attempt)
+		return err
+	})
+	return stats, err
+}
+
+func (c *Client) uploadOnce(name string, data []byte, attempt int) (UploadStats, error) {
 	if c.known[name] {
 		stats, err := c.deltaUpload(name, data)
 		if err == nil {
+			stats.Attempts = attempt
 			return stats, nil
 		}
 		var perr *protocol.Error
@@ -117,7 +146,9 @@ func (c *Client) Upload(name string, data []byte) (UploadStats, error) {
 			return stats, err
 		}
 	}
-	return c.fullUpload(name, data)
+	stats, err := c.fullUpload(name, data, attempt)
+	stats.Attempts = attempt
+	return stats, err
 }
 
 func isProtoErr(err error, out **protocol.Error) bool {
@@ -128,41 +159,62 @@ func isProtoErr(err error, out **protocol.Error) bool {
 	return ok
 }
 
-func (c *Client) fullUpload(name string, data []byte) (UploadStats, error) {
+func (c *Client) fullUpload(name string, data []byte, attempt int) (UploadStats, error) {
 	var stats UploadStats
 	hash := md5.Sum(data)
-	if err := send(c.conn, &protocol.IndexUpdate{
-		FileID: c.ids[name], Name: name, Size: int64(len(data)), FileHash: hash,
-	}); err != nil {
-		return stats, err
-	}
-	m, err := c.read()
-	if err != nil {
-		return stats, err
-	}
-	reply, ok := m.(*protocol.IndexReply)
-	if !ok {
-		return stats, fmt.Errorf("syncnet: expected index reply, got %v", m.Type())
-	}
-	c.ids[name] = reply.FileID
-	stats.DedupHit = reply.DedupHit
+	payload := comp.Compress(data, c.compression)
 
-	if !reply.DedupHit {
-		payload := comp.Compress(data, c.compression)
-		stats.PayloadBytes = len(payload)
-		for off := 0; off < len(payload); off += DataPieceSize {
+	// After a reconnect, probe for a stashed partial upload before
+	// re-announcing the file: a positive answer skips the index exchange
+	// and the payload prefix the server already buffered.
+	var fileID uint64
+	var resumeAt int64
+	if attempt > 1 {
+		info, err := c.resumeQuery(name, int64(len(data)), hash)
+		if err != nil {
+			return stats, err
+		}
+		if info.Offset > 0 && info.Offset <= int64(len(payload)) {
+			fileID = info.FileID
+			resumeAt = info.Offset
+			stats.ResumedFrom = resumeAt
+		}
+	}
+
+	if resumeAt == 0 {
+		if err := send(c.conn, &protocol.IndexUpdate{
+			FileID: c.ids[name], Name: name, Size: int64(len(data)), FileHash: hash,
+		}); err != nil {
+			return stats, err
+		}
+		m, err := c.read()
+		if err != nil {
+			return stats, err
+		}
+		reply, ok := m.(*protocol.IndexReply)
+		if !ok {
+			return stats, fmt.Errorf("syncnet: expected index reply, got %v", m.Type())
+		}
+		fileID = reply.FileID
+		stats.DedupHit = reply.DedupHit
+	}
+	c.ids[name] = fileID
+
+	if !stats.DedupHit {
+		stats.PayloadBytes = len(payload) - int(resumeAt)
+		for off := int(resumeAt); off < len(payload); off += DataPieceSize {
 			end := off + DataPieceSize
 			if end > len(payload) {
 				end = len(payload)
 			}
 			if err := send(c.conn, &protocol.Data{
-				FileID: reply.FileID, Offset: int64(off), Payload: payload[off:end],
+				FileID: fileID, Offset: int64(off), Payload: payload[off:end],
 			}); err != nil {
 				return stats, err
 			}
 		}
 	}
-	if err := send(c.conn, &protocol.Commit{FileID: reply.FileID}); err != nil {
+	if err := send(c.conn, &protocol.Commit{FileID: fileID}); err != nil {
 		return stats, err
 	}
 	ack, err := c.readAck()
@@ -172,6 +224,23 @@ func (c *Client) fullUpload(name string, data []byte) (UploadStats, error) {
 	stats.Version = ack.Version
 	c.known[name] = true
 	return stats, nil
+}
+
+// resumeQuery asks the server how much of an interrupted upload it
+// already holds.
+func (c *Client) resumeQuery(name string, size int64, hash protocol.Fingerprint) (*protocol.ResumeInfo, error) {
+	if err := send(c.conn, &protocol.ResumeQuery{Name: name, Size: size, FileHash: hash}); err != nil {
+		return nil, err
+	}
+	m, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	info, ok := m.(*protocol.ResumeInfo)
+	if !ok {
+		return nil, fmt.Errorf("syncnet: expected resume info, got %v", m.Type())
+	}
+	return info, nil
 }
 
 func (c *Client) deltaUpload(name string, data []byte) (UploadStats, error) {
@@ -221,8 +290,20 @@ func (c *Client) readAck() (*protocol.Ack, error) {
 	return ack, nil
 }
 
-// Download fetches a file's content.
+// Download fetches a file's content. Under a retry policy, a transport
+// failure mid-transfer reconnects and re-requests the file from the
+// start.
 func (c *Client) Download(name string) ([]byte, error) {
+	var data []byte
+	err := c.withRetry(func(int) error {
+		var err error
+		data, err = c.downloadOnce(name)
+		return err
+	})
+	return data, err
+}
+
+func (c *Client) downloadOnce(name string) ([]byte, error) {
 	if err := send(c.conn, &protocol.Get{Name: name}); err != nil {
 		return nil, err
 	}
@@ -263,16 +344,29 @@ func (c *Client) Download(name string) ([]byte, error) {
 	}
 }
 
-// Delete removes a file (server-side fake deletion).
+// Delete removes a file (server-side fake deletion). Under a retry
+// policy, a not-found answer on a retry attempt counts as success: the
+// previous attempt's deletion may have been applied before its ack was
+// lost, and deletion is the state the caller asked for.
 func (c *Client) Delete(name string) error {
 	id, ok := c.ids[name]
 	if !ok {
 		return fmt.Errorf("syncnet: %q was never synced by this client", name)
 	}
-	if err := send(c.conn, &protocol.Delete{FileID: id}); err != nil {
+	err := c.withRetry(func(attempt int) error {
+		if err := send(c.conn, &protocol.Delete{FileID: id}); err != nil {
+			return err
+		}
+		_, err := c.readAck()
+		if err != nil && attempt > 1 {
+			var perr *protocol.Error
+			if isProtoErr(err, &perr) && perr.Code == protocol.ErrNotFound {
+				return nil
+			}
+		}
 		return err
-	}
-	if _, err := c.readAck(); err != nil {
+	})
+	if err != nil {
 		return err
 	}
 	delete(c.known, name)

@@ -1,0 +1,143 @@
+package syncnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"cloudsync/internal/protocol"
+)
+
+// RetryPolicy controls how a client recovers from transport failures:
+// exponential backoff with deterministic seeded jitter between
+// reconnection attempts. The zero policy never retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (1 = no
+	// retry; 0 behaves like 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first reconnect; it doubles
+	// per attempt up to MaxDelay. Zero means no delay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = uncapped).
+	MaxDelay time.Duration
+	// Seed fixes the jitter sequence, keeping recovery schedules
+	// reproducible in tests.
+	Seed uint64
+	// Sleep, when set, replaces time.Sleep (tests inject a recorder; the
+	// fault tests inject a no-op to stay fast).
+	Sleep func(time.Duration)
+}
+
+// WithRetry equips the client with a retry policy. Without WithDialer
+// (or Dial, which installs one), retries cannot reconnect and the
+// policy is inert.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithDialer sets the factory used to re-establish the transport after
+// a failure.
+func WithDialer(dial func() (net.Conn, error)) ClientOption {
+	return func(c *Client) { c.dialer = dial }
+}
+
+// backoff returns the pre-reconnect delay for the given attempt
+// (attempt ≥ 2): exponential in the attempt number with ±25% seeded
+// jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.retry.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if c.retry.MaxDelay > 0 && d >= c.retry.MaxDelay {
+			d = c.retry.MaxDelay
+			break
+		}
+	}
+	if c.retry.MaxDelay > 0 && d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	// ±25% jitter so synchronized clients do not reconnect in lockstep.
+	jitter := time.Duration(float64(d) / 2 * c.jitterRNG.float())
+	return d*3/4 + jitter
+}
+
+// reconnect tears down the broken transport, backs off, redials, and
+// re-opens the session with a fresh Hello. Server-side file state
+// survives across sessions, so the client's name→id map stays valid.
+func (c *Client) reconnect(attempt int) error {
+	c.conn.Close()
+	if d := c.backoff(attempt); d > 0 {
+		if c.retry.Sleep != nil {
+			c.retry.Sleep(d)
+		} else {
+			time.Sleep(d)
+		}
+	}
+	conn, err := c.dialer()
+	if err != nil {
+		return fmt.Errorf("syncnet: reconnect: %w", err)
+	}
+	if err := send(conn, &protocol.Hello{User: c.user, Device: c.device, Version: "cloudsync/1"}); err != nil {
+		conn.Close()
+		return err
+	}
+	c.conn = conn
+	return nil
+}
+
+// withRetry runs op, reconnecting and re-running it on transport
+// failure until the policy is exhausted. op receives the 1-based
+// attempt number so operations can switch to their resume path.
+// Protocol-level errors (the server answered, rejecting the request)
+// are never retried — retrying cannot change the answer.
+func (c *Client) withRetry(op func(attempt int) error) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 || c.dialer == nil {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if rerr := c.reconnect(attempt); rerr != nil {
+				err = rerr // dial failures consume attempts too
+				continue
+			}
+		}
+		if err = op(attempt); err == nil {
+			return nil
+		}
+		var perr *protocol.Error
+		if isProtoErr(err, &perr) {
+			return err
+		}
+	}
+	return err
+}
+
+// jitterXorshift is the client's private jitter PRNG (same frozen
+// xorshift+splitmix construction the simulator uses, duplicated to
+// keep syncnet free of simulator dependencies).
+type jitterXorshift uint64
+
+func newJitterRNG(seed uint64) jitterXorshift {
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return jitterXorshift(z)
+}
+
+func (x *jitterXorshift) float() float64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = jitterXorshift(v)
+	return float64(v>>11) / float64(1<<53)
+}

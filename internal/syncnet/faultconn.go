@@ -1,0 +1,205 @@
+package syncnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrInjectedFault marks a connection failure manufactured by a
+// FaultScheduler rather than the kernel.
+var ErrInjectedFault = errors.New("syncnet: injected connection fault")
+
+// FaultPlan configures deterministic connection faults for real
+// net.Conn traffic: each wrapped connection is cut after a seeded
+// pseudo-random byte budget, modelling a link that drops mid-transfer.
+// The zero plan injects nothing.
+type FaultPlan struct {
+	// Seed fixes the budget sequence; wrapping connections in the same
+	// order yields the same cut points.
+	Seed uint64
+	// MeanDropBytes is the average bytes a connection carries before it
+	// is cut; each connection's budget is drawn uniformly from
+	// [mean/2, 3·mean/2). 0 disables injection.
+	MeanDropBytes int64
+	// MaxDrops bounds the total connections cut (0 = unlimited). Once
+	// reached, further connections run fault-free — which guarantees a
+	// retrying client eventually gets a clean run.
+	MaxDrops int
+}
+
+// FaultConnStats counts what a scheduler did to its connections.
+type FaultConnStats struct {
+	// Drops is the number of connections cut.
+	Drops int
+	// BytesWritten and BytesRead are the bytes actually forwarded
+	// through wrapped connections in each direction.
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// FaultScheduler wraps net.Conns (or a whole net.Listener) with the
+// byte-budget fault injection of a FaultPlan. Safe for concurrent use.
+type FaultScheduler struct {
+	plan FaultPlan
+
+	mu    sync.Mutex
+	rng   jitterXorshift
+	stats FaultConnStats
+}
+
+// NewFaultScheduler builds a scheduler for the plan.
+func NewFaultScheduler(plan FaultPlan) *FaultScheduler {
+	if plan.MeanDropBytes < 0 {
+		panic(fmt.Sprintf("syncnet: negative mean drop bytes %d", plan.MeanDropBytes))
+	}
+	return &FaultScheduler{plan: plan, rng: newJitterRNG(plan.Seed)}
+}
+
+// Stats snapshots the scheduler's counters.
+func (fs *FaultScheduler) Stats() FaultConnStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// Wrap returns conn with the plan's fault behaviour attached. When the
+// plan is inert (or MaxDrops is exhausted), the wrapper only counts
+// traffic.
+func (fs *FaultScheduler) Wrap(conn net.Conn) net.Conn {
+	fc := &faultConn{Conn: conn, fs: fs, budget: -1}
+	fs.mu.Lock()
+	if fs.plan.MeanDropBytes > 0 && (fs.plan.MaxDrops == 0 || fs.stats.Drops < fs.plan.MaxDrops) {
+		m := float64(fs.plan.MeanDropBytes)
+		fc.budget = int64(m/2 + m*fs.rng.float())
+	}
+	fs.mu.Unlock()
+	return fc
+}
+
+// Listen wraps a listener so every accepted connection carries the
+// plan's fault behaviour — the server-side injection point syncd uses.
+func (fs *FaultScheduler) Listen(l net.Listener) net.Listener {
+	return &faultListener{Listener: l, fs: fs}
+}
+
+type faultListener struct {
+	net.Listener
+	fs *FaultScheduler
+}
+
+func (fl *faultListener) Accept() (net.Conn, error) {
+	conn, err := fl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return fl.fs.Wrap(conn), nil
+}
+
+// faultConn cuts the underlying connection once its byte budget (both
+// directions combined) is spent. Bytes within the budget are always
+// delivered — a cut mid-Write flushes the permitted prefix first, so
+// the peer observes a well-formed partial stream, exactly like a real
+// mid-transfer disconnect.
+type faultConn struct {
+	net.Conn
+	fs *FaultScheduler
+
+	mu      sync.Mutex
+	budget  int64 // bytes remaining before the cut; -1 = never cut
+	tripped bool
+}
+
+// closeWriter is the half-close capability of *net.TCPConn: tripping
+// via CloseWrite lets bytes already sent drain to the peer.
+type closeWriter interface{ CloseWrite() error }
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	fc.mu.Lock()
+	if fc.tripped {
+		fc.mu.Unlock()
+		return 0, ErrInjectedFault
+	}
+	allowed := len(p)
+	cut := false
+	if fc.budget >= 0 {
+		if int64(allowed) >= fc.budget {
+			allowed = int(fc.budget)
+			cut = true
+		}
+		fc.budget -= int64(allowed)
+	}
+	fc.mu.Unlock()
+
+	n := 0
+	var err error
+	if allowed > 0 {
+		n, err = fc.Conn.Write(p[:allowed])
+		fc.count(int64(n), 0)
+	}
+	if err != nil {
+		return n, err
+	}
+	if cut {
+		fc.trip()
+		return n, ErrInjectedFault
+	}
+	return n, nil
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	fc.mu.Lock()
+	if fc.tripped {
+		fc.mu.Unlock()
+		return 0, ErrInjectedFault
+	}
+	if fc.budget >= 0 && int64(len(p)) > fc.budget {
+		// Never read past the cut point; a zero budget trips now.
+		if fc.budget == 0 {
+			fc.mu.Unlock()
+			fc.trip()
+			return 0, ErrInjectedFault
+		}
+		p = p[:fc.budget]
+	}
+	fc.mu.Unlock()
+
+	n, err := fc.Conn.Read(p)
+	fc.count(0, int64(n))
+	fc.mu.Lock()
+	if fc.budget >= 0 {
+		fc.budget -= int64(n)
+	}
+	fc.mu.Unlock()
+	return n, err
+}
+
+// trip cuts the connection: half-close when the transport supports it
+// (letting delivered bytes drain to the peer), full close otherwise.
+func (fc *faultConn) trip() {
+	fc.mu.Lock()
+	if fc.tripped {
+		fc.mu.Unlock()
+		return
+	}
+	fc.tripped = true
+	fc.mu.Unlock()
+
+	fc.fs.mu.Lock()
+	fc.fs.stats.Drops++
+	fc.fs.mu.Unlock()
+
+	if cw, ok := fc.Conn.(closeWriter); ok {
+		cw.CloseWrite()
+	} else {
+		fc.Conn.Close()
+	}
+}
+
+func (fc *faultConn) count(wrote, read int64) {
+	fc.fs.mu.Lock()
+	fc.fs.stats.BytesWritten += wrote
+	fc.fs.stats.BytesRead += read
+	fc.fs.mu.Unlock()
+}

@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"cloudsync/internal/comp"
 	"cloudsync/internal/dedup"
@@ -31,6 +32,14 @@ import (
 // DataPieceSize is the Data-message payload granularity for content
 // transfer.
 const DataPieceSize = 64 << 10
+
+// maxPendingUploads caps the partial-upload buffers the server keeps
+// for resumption; beyond it the oldest stash is evicted (the client
+// then simply restarts that upload from scratch).
+const maxPendingUploads = 64
+
+// ErrServerClosed is returned by Serve and HandleConn after Close.
+var ErrServerClosed = errors.New("syncnet: server closed")
 
 // ServerConfig selects the server's design choices.
 type ServerConfig struct {
@@ -64,7 +73,25 @@ type ServerStats struct {
 	DeltaSyncs  int64
 	Downloads   int64
 	Deletes     int64
+	Resumes     int64
 	BytesStored int64
+	// PendingResumable is the number of stashed partial uploads
+	// currently held for resumption.
+	PendingResumable int
+	// BytesReceived is the total bytes read off all client connections
+	// (the server-side view of the wire, for traffic-balance checks).
+	BytesReceived int64
+}
+
+// pendingKey identifies a stashed partial upload: the same identity a
+// reconnecting client presents in its ResumeQuery. Including the
+// content hash means a stash from an older edit of the file can never
+// be resumed onto.
+type pendingKey struct {
+	user string
+	name string
+	size int64
+	hash protocol.Fingerprint
 }
 
 // Server is the sync service back end. It is safe for concurrent use
@@ -72,12 +99,22 @@ type ServerStats struct {
 type Server struct {
 	cfg ServerConfig
 
-	mu     sync.Mutex
-	users  map[string]map[string]*serverFile
-	byHash map[dedup.Fingerprint][]byte // full-file dedup content store
-	index  *dedup.Index
-	nextID uint64
-	stats  ServerStats
+	mu        sync.Mutex
+	users     map[string]map[string]*serverFile
+	byHash    map[dedup.Fingerprint][]byte // full-file dedup content store
+	index     *dedup.Index
+	nextID    uint64
+	stats     ServerStats
+	closed    bool
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	// pending holds partial uploads from dropped sessions, FIFO-bounded
+	// by pendingOrder.
+	pending      map[pendingKey]*pendingUpload
+	pendingOrder []pendingKey
+
+	handlers      sync.WaitGroup // serve loops + connection handlers
+	bytesReceived atomic.Int64
 }
 
 // NewServer constructs a server.
@@ -89,10 +126,13 @@ func NewServer(cfg ServerConfig) *Server {
 		panic(fmt.Sprintf("syncnet: negative block size %d", cfg.BlockSize))
 	}
 	return &Server{
-		cfg:    cfg,
-		users:  make(map[string]map[string]*serverFile),
-		byHash: make(map[dedup.Fingerprint][]byte),
-		index:  dedup.NewIndex(cfg.CrossUserDedup),
+		cfg:       cfg,
+		users:     make(map[string]map[string]*serverFile),
+		byHash:    make(map[dedup.Fingerprint][]byte),
+		index:     dedup.NewIndex(cfg.CrossUserDedup),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		pending:   make(map[pendingKey]*pendingUpload),
 	}
 }
 
@@ -100,38 +140,126 @@ func NewServer(cfg ServerConfig) *Server {
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.BytesReceived = s.bytesReceived.Load()
+	st.PendingResumable = len(s.pending)
+	return st
 }
 
-// Serve accepts connections until the listener fails (typically
-// because the caller closed it). Each connection is handled on its own
-// goroutine.
+// Close shuts the server down deterministically: it closes every
+// registered listener and live connection, then waits for all serve
+// loops and connection handlers to return. Safe to call more than
+// once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	cs := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range cs {
+		c.Close()
+	}
+	s.handlers.Wait()
+	return nil
+}
+
+// Serve accepts connections until the listener fails or the server is
+// closed. Each connection is handled on its own goroutine; Close waits
+// for all of them.
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.handlers.Add(1)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		s.handlers.Done()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return fmt.Errorf("syncnet: accept: %w", err)
 		}
 		go func() {
-			if err := s.HandleConn(conn); err != nil && s.cfg.Logf != nil {
+			if err := s.HandleConn(conn); err != nil && !errors.Is(err, ErrServerClosed) && s.cfg.Logf != nil {
 				s.cfg.Logf("syncnet: session ended: %v", err)
 			}
 		}()
 	}
 }
 
-// HandleConn runs one client session to completion. It returns nil on
-// clean disconnect (EOF).
-func (s *Server) HandleConn(conn net.Conn) error {
-	defer conn.Close()
+// register tracks a live connection so Close can tear it down and wait
+// for its handler.
+func (s *Server) register(conn net.Conn) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	s.conns[conn] = struct{}{}
+	s.handlers.Add(1)
 	s.stats.Sessions++
-	s.mu.Unlock()
+	return nil
+}
 
-	first, err := protocol.ReadMessage(conn)
+func (s *Server) unregister(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.handlers.Done()
+}
+
+// countingReader tallies the bytes the server reads off a connection.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+// HandleConn runs one client session to completion. It returns nil on
+// clean disconnect (EOF). A session that ends mid-upload — however it
+// ends — stashes the partial buffer so a reconnecting client can
+// resume it with a ResumeQuery.
+func (s *Server) HandleConn(conn net.Conn) error {
+	if err := s.register(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	defer s.unregister(conn)
+	defer conn.Close()
+	r := &countingReader{r: conn, n: &s.bytesReceived}
+
+	first, err := protocol.ReadMessage(r)
 	if err != nil {
 		return fmt.Errorf("syncnet: reading hello: %w", err)
 	}
@@ -141,9 +269,10 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		return fmt.Errorf("syncnet: first message was %v", first.Type())
 	}
 	sess := &session{srv: s, conn: conn, user: hello.User}
+	defer sess.stash()
 	s.logf("session start user=%s device=%s", hello.User, hello.Device)
 	for {
-		msg, err := protocol.ReadMessage(conn)
+		msg, err := protocol.ReadMessage(r)
 		if err == io.EOF {
 			return nil
 		}
@@ -169,6 +298,32 @@ func (s *Server) files(user string) map[string]*serverFile {
 		s.users[user] = m
 	}
 	return m
+}
+
+// FileState is one file's externally visible server-side state, as
+// reported by Snapshot.
+type FileState struct {
+	Data    []byte
+	Version uint64
+	Deleted bool
+	History int
+}
+
+// Snapshot copies one user's full file state — the invariant harness's
+// view of the server.
+func (s *Server) Snapshot(user string) map[string]FileState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]FileState, len(s.users[user]))
+	for name, f := range s.users[user] {
+		out[name] = FileState{
+			Data:    append([]byte(nil), f.data...),
+			Version: f.version,
+			Deleted: f.deleted,
+			History: f.history,
+		}
+	}
+	return out
 }
 
 // FileContent returns a copy of the stored raw content, for tests and
@@ -202,10 +357,54 @@ type pendingUpload struct {
 	buf      []byte
 }
 
+// stash preserves an interrupted upload's buffer for resumption. Dedup
+// hits carry no data and empty buffers hold nothing worth resuming.
+func (ss *session) stash() {
+	up := ss.upload
+	if up == nil || up.dedupHit || len(up.buf) == 0 {
+		return
+	}
+	ss.upload = nil
+	s := ss.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := pendingKey{user: ss.user, name: up.name, size: up.size, hash: up.hash}
+	if _, ok := s.pending[key]; !ok {
+		if len(s.pendingOrder) >= maxPendingUploads {
+			delete(s.pending, s.pendingOrder[0])
+			s.pendingOrder = s.pendingOrder[1:]
+		}
+		s.pendingOrder = append(s.pendingOrder, key)
+	}
+	s.pending[key] = up
+	s.logf("stashed partial upload %s/%s (%d bytes buffered)", ss.user, up.name, len(up.buf))
+}
+
+// takePending removes and returns the stashed partial upload for key,
+// if any.
+func (s *Server) takePending(key pendingKey) *pendingUpload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up, ok := s.pending[key]
+	if !ok {
+		return nil
+	}
+	delete(s.pending, key)
+	for i, k := range s.pendingOrder {
+		if k == key {
+			s.pendingOrder = append(s.pendingOrder[:i], s.pendingOrder[i+1:]...)
+			break
+		}
+	}
+	return up
+}
+
 func (ss *session) handle(msg protocol.Message) error {
 	switch m := msg.(type) {
 	case *protocol.IndexUpdate:
 		return ss.onIndexUpdate(m)
+	case *protocol.ResumeQuery:
+		return ss.onResumeQuery(m)
 	case *protocol.Data:
 		return ss.onData(m)
 	case *protocol.Commit:
@@ -246,6 +445,23 @@ func (ss *session) onIndexUpdate(m *protocol.IndexUpdate) error {
 
 	ss.upload = &pendingUpload{id: id, name: m.Name, size: m.Size, hash: m.FileHash, dedupHit: hit}
 	return send(ss.conn, &protocol.IndexReply{FileID: id, DedupHit: hit})
+}
+
+// onResumeQuery adopts a stashed partial upload matching the client's
+// identity triple and tells it where to continue; a zero ResumeInfo
+// means start over (with a fresh IndexUpdate).
+func (ss *session) onResumeQuery(m *protocol.ResumeQuery) error {
+	s := ss.srv
+	up := s.takePending(pendingKey{user: ss.user, name: m.Name, size: m.Size, hash: m.FileHash})
+	if up == nil {
+		return send(ss.conn, &protocol.ResumeInfo{})
+	}
+	ss.upload = up
+	s.mu.Lock()
+	s.stats.Resumes++
+	s.mu.Unlock()
+	s.logf("resuming %s/%s at offset %d", ss.user, up.name, len(up.buf))
+	return send(ss.conn, &protocol.ResumeInfo{FileID: up.id, Offset: int64(len(up.buf))})
 }
 
 func (ss *session) onData(m *protocol.Data) error {

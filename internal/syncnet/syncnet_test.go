@@ -4,14 +4,90 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"cloudsync/internal/comp"
 	"cloudsync/internal/content"
 	"cloudsync/internal/protocol"
 )
+
+// leakCheck registers a cleanup that fails the test if any goroutine
+// running syncnet code outlives it (stdlib-only goleak). Register it
+// FIRST — t.Cleanup is LIFO, so it then runs after the test's own
+// teardown (server Close, client Close) has finished. Repeat calls
+// within one test are no-ops, so helpers starting several servers
+// keep the check at the very end.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	leakCheckMu.Lock()
+	registered := leakCheckActive[t]
+	leakCheckActive[t] = true
+	leakCheckMu.Unlock()
+	if registered {
+		return
+	}
+	// The current goroutine's header, so the test itself (whose stack
+	// is full of syncnet test frames) is not reported as a leak.
+	self := goroutineHeader()
+	t.Cleanup(func() {
+		leakCheckMu.Lock()
+		delete(leakCheckActive, t)
+		leakCheckMu.Unlock()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			leaked := syncnetGoroutines(self)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%d goroutine(s) leaked from syncnet:\n\n%s",
+					len(leaked), strings.Join(leaked, "\n\n"))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+var (
+	leakCheckMu     sync.Mutex
+	leakCheckActive = map[*testing.T]bool{}
+)
+
+// goroutineHeader returns this goroutine's "goroutine N" stack header.
+func goroutineHeader() string {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	header, _, _ := strings.Cut(string(buf[:n]), "[")
+	return strings.TrimSpace(header)
+}
+
+// syncnetGoroutines dumps all goroutine stacks and returns those with
+// a syncnet frame, excluding the goroutine whose header is self.
+func syncnetGoroutines(self string) []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(g, "cloudsync/internal/syncnet") {
+			continue
+		}
+		header, _, _ := strings.Cut(g, "[")
+		if strings.TrimSpace(header) == self {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
 
 // countingConn wraps a net.Conn and counts bytes written — the test's
 // Wireshark.
@@ -27,15 +103,18 @@ func (c countingConn) Write(p []byte) (int, error) {
 }
 
 // startServer runs a server on a loopback TCP listener and returns a
-// dialer producing counted client connections.
+// dialer producing counted client connections. Teardown goes through
+// Server.Close, and a leak check verifies no handler goroutine
+// survives it.
 func startServer(t *testing.T, cfg ServerConfig) (*Server, func(user string, opts ...ClientOption) (*Client, *atomic.Int64)) {
 	t.Helper()
+	leakCheck(t)
 	srv := NewServer(cfg)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { l.Close() })
+	t.Cleanup(func() { srv.Close() })
 	go srv.Serve(l)
 	dial := func(user string, opts ...ClientOption) (*Client, *atomic.Int64) {
 		conn, err := net.Dial("tcp", l.Addr().String())
