@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench tuebench
+.PHONY: check build vet test race bench bench-obs tuebench
 
 # check is the full gate: compile everything, vet, and run the test
 # suite under the race detector (the experiment layer is concurrent).
@@ -20,6 +20,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ ./...
+
+# bench-obs measures the observability tax: every <Base>Off/<Base>On
+# benchmark pair (nil tracer/registry vs instrumented) across the obs
+# primitives and the syncnet hot path, summarised as overhead
+# percentages in BENCH_obs.json. Target: spans/counters on the nil
+# path free, instrumented sync path within a few percent.
+bench-obs:
+	$(GO) test -bench 'ObsO(ff|n)$$' -benchmem -run '^$$' \
+		./internal/obs ./internal/syncnet \
+		| $(GO) run ./internal/obs/benchjson > BENCH_obs.json
+	cat BENCH_obs.json
 
 tuebench:
 	$(GO) run ./cmd/tuebench -quick

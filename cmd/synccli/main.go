@@ -6,6 +6,13 @@
 //	synccli -addr 127.0.0.1:7777 -user alice put local.txt remote.txt
 //	synccli -user alice get remote.txt local-copy.txt
 //	synccli -user alice rm remote.txt
+//	synccli -retries 5 put big.bin remote.bin     # reconnect + resume
+//	synccli -trace out.json -report put a.txt b   # spans + summary tree
+//
+// -trace writes the operation's span tree in Chrome trace_event format
+// (load it in chrome://tracing or Perfetto); -report prints an indented
+// per-stage summary with wire-byte counts to stderr. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"time"
 
 	"cloudsync/internal/comp"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/syncnet"
 )
 
@@ -40,6 +48,8 @@ func main() {
 		compress  = flag.Bool("compress", true, "compress uploads (must match syncd)")
 		retries   = flag.Int("retries", 1, "attempts per operation (reconnect + resume on failure)")
 		retryBase = flag.Duration("retry-base", 200*time.Millisecond, "initial reconnect backoff")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event file of this run's spans")
+		report    = flag.Bool("report", false, "print a per-stage span summary to stderr")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -48,14 +58,47 @@ func main() {
 		usage()
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" || *report {
+		tracer = obs.NewTracer()
+	}
+	// finish flushes the trace and report before any exit, success or
+	// failure — a failed operation's spans are the interesting ones.
+	finish := func() {
+		if tracer == nil {
+			return
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "synccli: %v\n", err)
+				return
+			}
+			if err := tracer.WriteChromeTrace(f); err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "synccli: writing trace: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "synccli: trace written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+		}
+		if *report {
+			fmt.Fprint(os.Stderr, tracer.Report())
+		}
+	}
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "synccli: %v\n", err)
+		finish()
 		os.Exit(1)
 	}
 
 	var opts []syncnet.ClientOption
 	if *compress {
 		opts = append(opts, syncnet.WithCompression(comp.High))
+	}
+	if tracer != nil {
+		opts = append(opts, syncnet.WithTracer(tracer))
 	}
 	if *retries > 1 {
 		opts = append(opts, syncnet.WithRetry(syncnet.RetryPolicy{
@@ -125,4 +168,5 @@ func main() {
 	default:
 		usage()
 	}
+	finish()
 }

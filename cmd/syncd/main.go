@@ -6,10 +6,14 @@
 // Usage:
 //
 //	syncd -addr 127.0.0.1:7777 -compress -cross-user-dedup
+//	syncd -obs-addr 127.0.0.1:8080   # live /metrics, /healthz, pprof
 //
 // For resilience testing, -fault-drop-bytes cuts every accepted
 // connection after a seeded pseudo-random byte budget, so retrying
 // clients exercise the resume protocol against a real listener.
+// With -obs-addr, a second HTTP listener serves Prometheus-text
+// metrics at /metrics, a liveness probe at /healthz, and the standard
+// net/http/pprof profiling endpoints (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 
 	"cloudsync/internal/comp"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/syncnet"
 )
 
@@ -36,6 +41,9 @@ func main() {
 		faultDrops = flag.Int("fault-max-drops", 0,
 			"stop injecting after this many cuts (0 = unlimited)")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
+
+		obsAddr = flag.String("obs-addr", "",
+			"serve live /metrics (Prometheus text), /healthz and pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -50,6 +58,18 @@ func main() {
 		cfg.Logf = log.Printf
 	}
 
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+		obsListen, _, err := obs.ListenAndServe(*obsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "syncd: observability listener: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("syncd: observability on http://%s/metrics (+ /healthz, /debug/pprof/)", obsListen)
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "syncd: %v\n", err)
@@ -61,6 +81,7 @@ func main() {
 		sched := syncnet.NewFaultScheduler(syncnet.FaultPlan{
 			Seed: *faultSeed, MeanDropBytes: *faultBytes, MaxDrops: *faultDrops,
 		})
+		sched.SetMetrics(reg)
 		l = sched.Listen(l)
 		log.Printf("syncd: fault injection armed (~%d bytes/conn, max drops %d, seed %d)",
 			*faultBytes, *faultDrops, *faultSeed)

@@ -8,6 +8,12 @@
 //	syncsim -service dropbox -op create -size 10485760
 //	syncsim -service "google drive" -op append -x 5 -total 1048576
 //	syncsim -service box -access mobile -op modify -size 1048576 -bj
+//	syncsim -service dropbox -op create -trace out.json -report
+//
+// -trace writes the simulation's span tree (sync rounds, sessions,
+// network activity, all on the virtual clock) as Chrome trace_event
+// JSON; -report prints the same tree as indented text. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -22,7 +28,9 @@ import (
 	"cloudsync/internal/hardware"
 	"cloudsync/internal/metrics"
 	"cloudsync/internal/netem"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/service"
+	"cloudsync/internal/simclock"
 )
 
 func parseService(s string) (service.Name, error) {
@@ -70,6 +78,9 @@ func main() {
 		bps     = flag.Int64("bps", 0, "custom bandwidth in bits/s (overrides -bj)")
 		rttMs   = flag.Int("rtt", 0, "custom RTT in milliseconds (with -bps)")
 		machine = flag.String("hw", "M1", "client machine (Table 4: M1-M4, B1-B4)")
+
+		traceOut = flag.String("trace", "", "write a Chrome trace_event file of the run's spans (virtual clock)")
+		report   = flag.Bool("report", false, "print the span tree as indented text")
 	)
 	flag.Parse()
 
@@ -96,6 +107,15 @@ func main() {
 	}
 	if *bps > 0 {
 		opts.Link = netem.Custom(*bps, time.Duration(*rttMs)*time.Millisecond)
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *report {
+		// The tracer reads the same virtual clock the setup runs on, so
+		// span timestamps are deterministic simulation time.
+		clk := simclock.New()
+		tracer = obs.NewSimTracer(clk.Now)
+		opts.Clock = clk
+		opts.Tracer = tracer
 	}
 	s := service.NewSetup(svc, acc, opts)
 
@@ -187,5 +207,23 @@ func main() {
 	if updateSize > 0 {
 		fmt.Printf("TUE:       %.2f (update size %s)\n",
 			float64(up+down)/float64(updateSize), metrics.HumanBytes(updateSize))
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "syncsim: trace written to %s (%d spans; open in chrome://tracing or Perfetto)\n",
+			*traceOut, len(tracer.Spans()))
+	}
+	if *report {
+		fmt.Print(tracer.Report())
 	}
 }

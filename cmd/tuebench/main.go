@@ -9,6 +9,12 @@
 //	tuebench -experiment fig6    # one artifact
 //	tuebench -workers 8          # experiment worker-pool size (1 = sequential)
 //	tuebench -list               # list artifact names
+//	tuebench -trace out.json     # Chrome trace of per-cell runtimes
+//
+// -trace records one span per simulated experiment cell (wall-clock
+// timed, so the trace shows where regeneration time goes across the
+// worker pool) and writes Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto. Tracing never changes the tables.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"cloudsync/internal/core"
 	"cloudsync/internal/netem"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/parallel"
 	"cloudsync/internal/service"
 	"cloudsync/internal/trace"
@@ -182,15 +189,22 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		name    = flag.String("experiment", "all", "artifact to regenerate (see -list)")
-		quick   = flag.Bool("quick", false, "reduced parameter sweeps")
-		scale   = flag.Float64("scale", 0.05, "trace scale (1.0 = full 222,632 files)")
-		seed    = flag.Int64("seed", 1, "trace generation seed")
-		workers = flag.Int("workers", 0, "experiment worker-pool size (0 = GOMAXPROCS; 1 = sequential)")
-		list    = flag.Bool("list", false, "list artifact names and exit")
+		name     = flag.String("experiment", "all", "artifact to regenerate (see -list)")
+		quick    = flag.Bool("quick", false, "reduced parameter sweeps")
+		scale    = flag.Float64("scale", 0.05, "trace scale (1.0 = full 222,632 files)")
+		seed     = flag.Int64("seed", 1, "trace generation seed")
+		workers  = flag.Int("workers", 0, "experiment worker-pool size (0 = GOMAXPROCS; 1 = sequential)")
+		list     = flag.Bool("list", false, "list artifact names and exit")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event file of per-cell runtimes")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		core.SetTracer(tracer)
+	}
 
 	if *list {
 		for _, e := range experiments {
@@ -235,4 +249,21 @@ func main() {
 	}
 	fmt.Printf("regenerated %d artifact(s) in %v (%d worker(s))\n",
 		ran, time.Since(start).Round(time.Millisecond), parallel.Workers())
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuebench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuebench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tuebench: trace written to %s (%d spans; open in chrome://tracing or Perfetto)\n",
+			*traceOut, len(tracer.Spans()))
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"cloudsync/internal/deferpolicy"
 	"cloudsync/internal/hardware"
 	"cloudsync/internal/netem"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/protocol"
 	"cloudsync/internal/simclock"
 	"cloudsync/internal/vfs"
@@ -119,6 +120,12 @@ type Config struct {
 	// PayloadExpansion multiplies data payloads for service framing
 	// (multipart encoding, per-block headers). ≥ 1.
 	PayloadExpansion float64
+
+	// Tracer, when set, records one span per sync round with children
+	// for the metadata-computation window and each dispatched session.
+	// Build it with obs.NewSimTracer(clock.Now) so timestamps are
+	// virtual-clock readings; recording never alters the simulation.
+	Tracer *obs.Tracer
 }
 
 func (c Config) validate() {
@@ -180,6 +187,9 @@ type Client struct {
 	inFlight       bool
 	wantSync       bool
 	applyingRemote bool
+
+	round    *obs.Span // current sync round (nil when idle or untraced)
+	metaSpan *obs.Span // metadata-computation window within the round
 
 	stats Stats
 }
@@ -298,6 +308,9 @@ func (c *Client) trySync() {
 		return
 	}
 	c.inFlight = true
+	c.round = c.cfg.Tracer.Start("client.sync_round",
+		obs.String("user", c.cfg.User), obs.String("device", c.cfg.Device),
+		obs.Int("pending", int64(len(c.pending))))
 	// Condition 2: compute metadata for every pending file before
 	// dispatching. Updates arriving during this window join the batch,
 	// because the snapshot happens at dispatch time.
@@ -310,6 +323,7 @@ func (c *Client) trySync() {
 			metaBytes += f.Size()
 		}
 	}
+	c.metaSpan = c.round.Child("client.metadata", obs.Int("bytes", metaBytes))
 	c.clock.Schedule(c.cfg.Hardware.MetadataTime(metaBytes), c.dispatch)
 }
 
@@ -325,9 +339,13 @@ type workItem struct {
 }
 
 func (c *Client) dispatch() {
+	c.metaSpan.End()
+	c.metaSpan = nil
 	batch := c.snapshot()
 	if len(batch) == 0 {
 		c.inFlight = false
+		c.round.End()
+		c.round = nil
 		return
 	}
 	units := c.composeUnits(batch)
@@ -339,13 +357,24 @@ func (c *Client) dispatch() {
 		}
 		units = []sessionUnit{merged}
 	}
+	c.round.Set("files", len(batch))
+	c.round.Set("sessions", len(units))
 	remaining := len(units)
 	for _, u := range units {
 		u := u
 		u.exchanges = append(u.exchanges, c.sessionExchange())
 		c.stats.Sessions++
+		var up, down int64
+		for _, ex := range u.exchanges {
+			up += int64(ex.UpApp)
+			down += int64(ex.DownApp)
+		}
+		ssp := c.round.Child("client.session",
+			obs.Int("exchanges", int64(len(u.exchanges))),
+			obs.Int("up_app", up), obs.Int("down_app", down))
 		c.path.Do(u.exchanges, c.cloud.Config().ProcessingTime, func(time.Duration) {
 			c.runCommits(u.commits)
+			ssp.End()
 			remaining--
 			if remaining == 0 {
 				c.onAllSessionsDone()
@@ -590,12 +619,16 @@ func (c *Client) onRemoteChange(e *cloud.Entry, deleted bool) {
 	notify := protocol.EncodedSize(&protocol.Notify{FileID: e.ID, Version: e.Version, Name: e.Name})
 	name := e.Name
 	blob := e.Blob
+	sp := c.cfg.Tracer.Start("client.remote_change",
+		obs.String("name", name), obs.Bool("deleted", deleted))
 	c.path.Push(notify, func(time.Duration) {
 		if deleted {
 			c.applyRemoteDelete(name)
+			sp.End()
 			return
 		}
 		payload := c.cloud.ServeSize(e, c.cfg.DownloadCompression)
+		sp.Set("payload", payload)
 		exchanges := []netem.Exchange{
 			{
 				UpApp:   protocol.EncodedSize(&protocol.Get{Name: name}),
@@ -611,6 +644,7 @@ func (c *Client) onRemoteChange(e *cloud.Entry, deleted bool) {
 		c.path.Do(exchanges, 0, func(time.Duration) {
 			c.stats.Downloads++
 			c.applyRemoteUpsert(name, blob)
+			sp.End()
 		})
 	})
 }
@@ -651,6 +685,8 @@ func (c *Client) runCommits(commits []func()) {
 }
 
 func (c *Client) onAllSessionsDone() {
+	c.round.End()
+	c.round = nil
 	c.inFlight = false
 	c.inSession = make(map[string]bool)
 	c.cfg.Defer.Reset()
@@ -668,6 +704,8 @@ func (c *Client) Download(name string, done func()) error {
 		return fmt.Errorf("client: download: %s/%s not in cloud", c.cfg.User, name)
 	}
 	payload := c.cloud.ServeSize(entry, c.cfg.DownloadCompression)
+	sp := c.cfg.Tracer.Start("client.download",
+		obs.String("name", name), obs.Int("payload", payload))
 	exchanges := []netem.Exchange{
 		{
 			UpApp:   protocol.EncodedSize(&protocol.IndexUpdate{Name: name}) + c.cfg.MetaPerSyncUp/2,
@@ -682,6 +720,7 @@ func (c *Client) Download(name string, done func()) error {
 	}
 	c.path.Do(exchanges, 0, func(time.Duration) {
 		c.stats.Downloads++
+		sp.End()
 		if done != nil {
 			done()
 		}

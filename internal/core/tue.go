@@ -13,8 +13,20 @@ import (
 
 	"cloudsync/internal/client"
 	"cloudsync/internal/content"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/service"
 )
+
+// tracer is the process-wide tracer the experiment runners record
+// per-cell spans on. Atomic because experiment grids run cells on a
+// worker pool.
+var tracer atomic.Pointer[obs.Tracer]
+
+// SetTracer installs (or, with nil, removes) the tracer that receives
+// one "core.cell" span per simulated experiment cell, timed on the wall
+// clock — the measurement tuebench -trace exports. Tracing never
+// affects experiment results; the tables stay byte-identical.
+func SetTracer(tr *obs.Tracer) { tracer.Store(tr) }
 
 // TUE is the paper's Eq. (1): total data sync traffic divided by the
 // data update size. A TUE near 1 means the sync mechanism moved about
@@ -57,11 +69,16 @@ type Cell struct {
 // runOp builds a fresh setup, performs op, runs the simulation to
 // quiescence, and reports the traffic it generated.
 func runOp(n service.Name, a client.AccessMethod, opts service.Options, op func(*service.Setup)) (up, down int64) {
+	sp := tracer.Load().Start("core.cell",
+		obs.String("service", n.String()), obs.String("access", a.String()))
 	s := service.NewSetup(n, a, opts)
 	mark := s.Capture.Mark()
 	op(s)
 	s.Clock.Run()
 	u, d, _ := s.Capture.Since(mark)
+	sp.Set("up", u)
+	sp.Set("down", d)
+	sp.End()
 	return u, d
 }
 

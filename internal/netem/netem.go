@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cloudsync/internal/capture"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/simclock"
 	"cloudsync/internal/wire"
 )
@@ -98,7 +99,16 @@ type Path struct {
 	busyUntil  time.Duration
 	sessions   int
 	faults     *faultState
+	tracer     *obs.Tracer
 }
+
+// SetTracer makes the path record one analytic span per session
+// ("net.session") and per push ("net.push"). Because the path computes
+// session times analytically rather than observing them, spans are
+// recorded with explicit virtual start/end stamps; use a tracer built
+// with obs.NewSimTracer so the stamps share the simulation timeline.
+// A nil tracer (the default) records nothing.
+func (p *Path) SetTracer(tr *obs.Tracer) { p.tracer = tr }
 
 // NewPath constructs a path. persistent controls whether the underlying
 // connection stays open between sessions (PC clients with notification
@@ -156,7 +166,8 @@ func (p *Path) Sessions() int { return p.sessions }
 // processing to the session (commit latency, metadata DB work).
 // It returns the scheduled completion time.
 func (p *Path) Do(exchanges []Exchange, serverTime time.Duration, done func(end time.Duration)) time.Duration {
-	start := p.clock.Now()
+	asked := p.clock.Now()
+	start := asked
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
@@ -174,6 +185,9 @@ func (p *Path) Do(exchanges []Exchange, serverTime time.Duration, done func(end 
 	}
 	p.busyUntil = at
 	end := at
+	p.tracer.Record("net.session", start, end,
+		obs.Int("exchanges", int64(len(exchanges))),
+		obs.Int("queued_us", (start-asked).Microseconds()))
 	p.clock.At(end, func() {
 		if done != nil {
 			done(end)
@@ -234,7 +248,9 @@ func (p *Path) Push(app int, done func(end time.Duration)) time.Duration {
 		at += p.link.UpTime(up) + p.link.DownTime(down)
 	}
 	p.conn.Send(at, app, capture.Down, capture.KindControl)
+	start := at
 	at += p.link.RTT/2 + p.link.DownTime(app)
+	p.tracer.Record("net.push", start, at, obs.Int("bytes", int64(app)))
 	p.clock.At(at, func() {
 		if done != nil {
 			done(at)

@@ -1,0 +1,120 @@
+// Command benchjson turns `go test -bench` output into a small JSON
+// overhead report. It pairs benchmarks named <Base>Off / <Base>On —
+// the convention the observability benchmarks use for uninstrumented
+// vs instrumented runs — and computes the relative overhead of each
+// pair. make bench-obs pipes the obs and syncnet benchmarks through it
+// into BENCH_obs.json.
+//
+// Usage:
+//
+//	go test -bench 'ObsO(ff|n)$' -benchmem ./... | go run ./internal/obs/benchjson > BENCH_obs.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	nsPerOp     float64
+	allocsPerOp int64
+}
+
+// pair is the JSON record for one Off/On benchmark pair. OverheadPct
+// is (on−off)/off in percent; negative values mean the difference is
+// below measurement noise.
+type pair struct {
+	Name        string  `json:"name"`
+	OffNsPerOp  float64 `json:"off_ns_per_op"`
+	OnNsPerOp   float64 `json:"on_ns_per_op"`
+	OffAllocs   int64   `json:"off_allocs_per_op"`
+	OnAllocs    int64   `json:"on_allocs_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+type report struct {
+	Note  string `json:"note"`
+	Pairs []pair `json:"pairs"`
+}
+
+// parseLine extracts a benchmark result from one `go test -bench`
+// output line, e.g.
+//
+//	BenchmarkSpanObsOn-8   1000000   1050 ns/op   320 B/op   3 allocs/op
+func parseLine(line string) (name string, r result, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name = strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		name = name[:i] // strip the -GOMAXPROCS suffix
+	}
+	for i := 2; i+1 < len(f); i++ {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.nsPerOp = v
+			ok = true
+		case "allocs/op":
+			r.allocsPerOp = int64(v)
+		}
+	}
+	return name, r, ok
+}
+
+func main() {
+	results := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, r, ok := parseLine(sc.Text()); ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := report{Note: "observability overhead: <Base>Off = nil tracer/registry, <Base>On = instrumented"}
+	for name, off := range results {
+		base, found := strings.CutSuffix(name, "Off")
+		if !found {
+			continue
+		}
+		on, ok := results[base+"On"]
+		if !ok {
+			continue
+		}
+		rep.Pairs = append(rep.Pairs, pair{
+			Name:        base,
+			OffNsPerOp:  off.nsPerOp,
+			OnNsPerOp:   on.nsPerOp,
+			OffAllocs:   off.allocsPerOp,
+			OnAllocs:    on.allocsPerOp,
+			OverheadPct: (on.nsPerOp - off.nsPerOp) / off.nsPerOp * 100,
+		})
+	}
+	if len(rep.Pairs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no Off/On benchmark pairs on stdin")
+		os.Exit(1)
+	}
+	sort.Slice(rep.Pairs, func(i, j int) bool { return rep.Pairs[i].Name < rep.Pairs[j].Name })
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

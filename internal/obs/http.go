@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the live-observability HTTP surface for the
+// registry:
+//
+//	/metrics        Prometheus text exposition of every metric
+//	/healthz        liveness probe (200, "ok <uptime>")
+//	/debug/pprof/…  the standard net/http/pprof profiling endpoints
+//
+// The handler is safe to serve concurrently with metric updates.
+func (r *Registry) Handler() http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			log.Printf("obs: rendering /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok %s\n", time.Since(start).Round(time.Second))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe starts the observability endpoint on addr in a
+// background goroutine and returns the bound address (useful with
+// ":0") and the server for shutdown. Serve errors after a clean
+// Close are discarded; others are logged.
+func ListenAndServe(addr string, r *Registry) (net.Addr, *http.Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() {
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Printf("obs: serving %s: %v", l.Addr(), err)
+		}
+	}()
+	return l.Addr(), srv, nil
+}

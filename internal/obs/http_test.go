@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("syncd_bytes_received_total", "Bytes read off client connections.").Add(123)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "syncd_bytes_received_total 123") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok ") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// pprof's index and cmdline endpoints must answer (the profile
+	// endpoints spin for their sampling window, so only the cheap ones
+	// are probed here).
+	code, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d %q", code, body)
+	}
+	if code, _ = get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("up", "1 while serving.").Set(1)
+	addr, srv, err := ListenAndServe("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("metrics over ListenAndServe missing gauge:\n%s", body)
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil instruments: %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments recorded values")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry rendered %q (err %v)", buf.String(), err)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the fixed log-bucket layout:
+// upper bounds 1, 2, 4, …, 2^40, +Inf, with exact powers of two
+// landing in their own bucket (le is inclusive).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0}, {-1, 0}, {0, 0}, {1, 0},
+		{2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1023, 10}, {1024, 10}, {1025, 11},
+		{1 << 40, 40},
+		{1<<40 + 1, HistBuckets}, // +Inf
+		{math.MaxInt64, HistBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d (bound %d), want %d (bound %d)",
+				c.v, got, BucketBound(got), c.want, BucketBound(c.want))
+		}
+	}
+	if BucketBound(0) != 1 || BucketBound(10) != 1024 || BucketBound(40) != 1<<40 {
+		t.Fatalf("BucketBound layout broken: %d %d %d",
+			BucketBound(0), BucketBound(10), BucketBound(40))
+	}
+	if BucketBound(HistBuckets) != math.MaxInt64 {
+		t.Fatalf("+Inf bound = %d", BucketBound(HistBuckets))
+	}
+
+	h := &Histogram{}
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(1024)
+	if h.Count() != 3 || h.Sum() != 1027 {
+		t.Fatalf("count %d sum %d, want 3 / 1027", h.Count(), h.Sum())
+	}
+	if h.buckets[0].Load() != 1 || h.buckets[1].Load() != 1 || h.buckets[10].Load() != 1 {
+		t.Fatalf("bucket placement wrong: %v %v %v",
+			h.buckets[0].Load(), h.buckets[1].Load(), h.buckets[10].Load())
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// registration races, counter adds, histogram observes — and checks
+// the totals. Run under -race (make check does) this doubles as the
+// data-race proof for the lock-free hot path.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Re-registering inside the loop exercises the get-or-create
+			// path concurrently with updates.
+			for i := 0; i < perWorker; i++ {
+				r.Counter("ops_total", "ops").Inc()
+				r.Gauge("level", "level").Add(1)
+				r.Histogram("sizes", "sizes").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("level", "").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("sizes", "")
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var wantSum int64
+	for i := 0; i < perWorker; i++ {
+		wantSum += int64(i)
+	}
+	if h.Sum() != wantSum*workers {
+		t.Fatalf("histogram sum = %d, want %d", h.Sum(), wantSum*workers)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestWritePrometheusGolden pins the exact exposition text for a small
+// registry, including cumulative histogram buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("syncd_uploads_total", "Completed uploads.").Add(3)
+	r.Gauge("syncd_active_connections", "Live client connections.").Set(2)
+	h := r.Histogram("syncd_session_tue_milli", "Per-session TUE x1000.")
+	h.Observe(1000) // le=1024
+	h.Observe(1500) // le=2048
+	h.Observe(1)    // le=1
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	var b strings.Builder
+	b.WriteString("# HELP syncd_active_connections Live client connections.\n")
+	b.WriteString("# TYPE syncd_active_connections gauge\n")
+	b.WriteString("syncd_active_connections 2\n")
+	b.WriteString("# HELP syncd_session_tue_milli Per-session TUE x1000.\n")
+	b.WriteString("# TYPE syncd_session_tue_milli histogram\n")
+	cum := 0
+	for i := 0; i <= HistBuckets; i++ {
+		switch i {
+		case 0, 10, 11: // le=1, le=1024, le=2048
+			cum++
+		}
+		le := "+Inf"
+		if i < HistBuckets {
+			le = strconv.FormatInt(int64(1)<<uint(i), 10)
+		}
+		b.WriteString("syncd_session_tue_milli_bucket{le=\"" + le + "\"} " +
+			strconv.Itoa(cum) + "\n")
+	}
+	b.WriteString("syncd_session_tue_milli_sum 2501\n")
+	b.WriteString("syncd_session_tue_milli_count 3\n")
+	b.WriteString("# HELP syncd_uploads_total Completed uploads.\n")
+	b.WriteString("# TYPE syncd_uploads_total counter\n")
+	b.WriteString("syncd_uploads_total 3\n")
+
+	if got != b.String() {
+		t.Fatalf("prometheus text drifted.\n--- got ---\n%s--- want ---\n%s", got, b.String())
+	}
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical spans on a shared clock. It is safe for
+// concurrent use: any goroutine may start, annotate, and end spans.
+// A nil *Tracer is a valid no-op tracer — Start returns a nil *Span,
+// whose methods are likewise no-ops — which is the zero-overhead
+// contract instrumented code relies on.
+type Tracer struct {
+	now func() time.Duration
+
+	mu     sync.Mutex
+	nextID uint64
+	spans  []*Span
+}
+
+// NewTracer returns a tracer stamping spans with wall-clock offsets
+// from the moment of construction.
+func NewTracer() *Tracer {
+	epoch := time.Now()
+	return &Tracer{now: func() time.Duration { return time.Since(epoch) }}
+}
+
+// NewSimTracer returns a tracer reading virtual time from now —
+// typically a simclock.Clock's Now method — so simulation spans carry
+// deterministic virtual timestamps.
+func NewSimTracer(now func() time.Duration) *Tracer {
+	if now == nil {
+		panic("obs: NewSimTracer with nil clock")
+	}
+	return &Tracer{now: now}
+}
+
+// Now reports the tracer's current clock reading (0 on a nil tracer).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// Span is one timed operation in a trace. Fields are private; use
+// Spans for a snapshot. All methods are nil-safe.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64 // 0 = root
+	root   uint64 // id of the tree's root span (its own id for roots)
+	name   string
+	start  time.Duration
+	end    time.Duration
+	ended  bool
+	attrs  []Attr
+}
+
+// Start opens a root span. On a nil tracer it returns nil, and the
+// nil span absorbs every further call.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0, 0, t.now(), attrs)
+}
+
+// StartAt opens a root span with an explicit start time — for layers
+// (like the analytical network model) that compute when an operation
+// began rather than observing it.
+func (t *Tracer) StartAt(name string, start time.Duration, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0, 0, start, attrs)
+}
+
+func (t *Tracer) newSpan(name string, parent, root uint64, start time.Duration, attrs []Attr) *Span {
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{tr: t, id: t.nextID, parent: parent, root: root, name: name, start: start, attrs: attrs}
+	if root == 0 {
+		s.root = s.id
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id, s.root, s.tr.now(), attrs)
+}
+
+// ChildAt opens a nested span with an explicit start time.
+func (s *Span) ChildAt(name string, start time.Duration, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id, s.root, start, attrs)
+}
+
+// Set attaches (or appends) an attribute to the span.
+func (s *Span) Set(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+	return s
+}
+
+// End closes the span at the tracer's current clock reading. Ending a
+// span twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tr.now())
+}
+
+// EndAt closes the span at an explicit time (clamped to the start so a
+// span never has negative duration).
+func (s *Span) EndAt(at time.Duration) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		if at < s.start {
+			at = s.start
+		}
+		s.end = at
+		s.ended = true
+	}
+	s.tr.mu.Unlock()
+}
+
+// Record writes a complete root span with explicit times in one call —
+// the shape analytical layers use when an operation's start and end
+// are computed rather than observed.
+func (t *Tracer) Record(name string, start, end time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.newSpan(name, 0, 0, start, attrs).EndAt(end)
+}
+
+// SpanData is an exported snapshot of one span, as returned by Spans.
+type SpanData struct {
+	// ID is the span's tracer-unique identifier; Parent is the ID of the
+	// enclosing span (0 for roots); Root is the ID of the tree's root.
+	ID, Parent, Root uint64
+	// Name labels the operation (dotted layer.operation by convention).
+	Name string
+	// Start and End are clock offsets; Ended reports whether End was
+	// recorded (an unfinished span has End == 0).
+	Start, End time.Duration
+	Ended      bool
+	// Attrs are the span's annotations in insertion order.
+	Attrs []Attr
+}
+
+// Duration is the span's End − Start (0 while unfinished).
+func (d SpanData) Duration() time.Duration {
+	if !d.Ended {
+		return 0
+	}
+	return d.End - d.Start
+}
+
+// Attr returns the named attribute's rendered value ("" when absent).
+func (d SpanData) Attr(key string) string {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return attrString(a.Value)
+		}
+	}
+	return ""
+}
+
+// Spans snapshots every span recorded so far, in start order (nil and
+// empty tracers return nil).
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.spans))
+	for _, s := range t.spans {
+		out = append(out, SpanData{
+			ID: s.id, Parent: s.parent, Root: s.root, Name: s.name,
+			Start: s.start, End: s.end, Ended: s.ended,
+			Attrs: append([]Attr(nil), s.attrs...),
+		})
+	}
+	return out
+}
+
+// Reset discards every recorded span (the tracer's clock keeps
+// running). Exports after a Reset cover only spans recorded since.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.mu.Unlock()
+}

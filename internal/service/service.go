@@ -25,6 +25,7 @@ import (
 	"cloudsync/internal/deferpolicy"
 	"cloudsync/internal/hardware"
 	"cloudsync/internal/netem"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/simclock"
 	"cloudsync/internal/vfs"
 	"cloudsync/internal/wire"
@@ -312,6 +313,11 @@ type Options struct {
 	// notifications so other devices' commits are mirrored into its
 	// folder (multi-device sync).
 	AutoSyncRemote bool
+	// Tracer, when set, is threaded into the client engine and the
+	// network path so the simulation records sync-round, session, and
+	// path spans. Build it with obs.NewSimTracer(clock.Now) on the same
+	// clock the Setup runs on (see Setup.Clock). Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Setup is a ready-to-run single-client simulation of one service.
@@ -376,12 +382,14 @@ func assemble(n Name, access client.AccessMethod, ccfg cloud.Config, cfg client.
 		cfg.Defer = opts.Defer
 	}
 	cfg.AutoSyncRemote = opts.AutoSyncRemote
+	cfg.Tracer = opts.Tracer
 	flow := capture.Flow{
 		Src: capture.Endpoint("client:" + opts.User + "@" + opts.Hardware.Name),
 		Dst: capture.Endpoint("cloud:" + n.String()),
 	}
 	conn := wire.NewConn(wire.DefaultParams(), cap, flow)
 	path := netem.NewPath(clk, opts.Link, conn, persistent)
+	path.SetTracer(opts.Tracer)
 	if persistent {
 		conn.Open(clk.Now())
 		if opts.Capture == nil {

@@ -7,6 +7,7 @@ import (
 
 	"cloudsync/internal/comp"
 	"cloudsync/internal/delta"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/protocol"
 )
 
@@ -42,6 +43,61 @@ type Client struct {
 
 	ids   map[string]uint64
 	known map[string]bool // names known to exist server-side
+
+	// tracer, when set via WithTracer, records one span per operation
+	// with children per attempt and per protocol stage, and meters the
+	// client-side wire bytes. Nil keeps the untraced fast path.
+	tracer          *obs.Tracer
+	op              *obs.Span // span of the operation currently in flight
+	att             *obs.Span // span of the current retry attempt, if any
+	wireIn, wireOut int64
+}
+
+// WireTotals reports the bytes this client has read from and written to
+// its connection(s), across reconnects. Metering requires WithTracer;
+// without it both totals stay zero.
+func (c *Client) WireTotals() (in, out int64) { return c.wireIn, c.wireOut }
+
+// meterConn counts a traced client's wire bytes in both directions.
+type meterConn struct {
+	net.Conn
+	in, out *int64
+}
+
+func (mc *meterConn) Read(p []byte) (int, error) {
+	n, err := mc.Conn.Read(p)
+	*mc.in += int64(n)
+	return n, err
+}
+
+func (mc *meterConn) Write(p []byte) (int, error) {
+	n, err := mc.Conn.Write(p)
+	*mc.out += int64(n)
+	return n, err
+}
+
+// parent is the span new protocol-stage spans should hang off: the
+// current attempt when retrying, else the operation itself.
+func (c *Client) parent() *obs.Span {
+	if c.att != nil {
+		return c.att
+	}
+	return c.op
+}
+
+// endOp closes the in-flight operation span, tagging it with the
+// operation's wire-byte deltas and any error.
+func (c *Client) endOp(in0, out0 int64, err error) {
+	if c.op == nil {
+		return
+	}
+	c.op.Set("bytes_in", c.wireIn-in0)
+	c.op.Set("bytes_out", c.wireOut-out0)
+	if err != nil {
+		c.op.Set("error", err.Error())
+	}
+	c.op.End()
+	c.op = nil
 }
 
 // ClientOption customizes a client.
@@ -57,6 +113,13 @@ func WithCompression(l comp.Level) ClientOption {
 // server (0 = server default).
 func WithBlockSize(bs int) ClientOption {
 	return func(c *Client) { c.blockSize = bs }
+}
+
+// WithTracer records client-side spans (one per operation, with
+// children per attempt and protocol stage) on tr and meters wire bytes
+// for WireTotals. A nil tr leaves the client completely uninstrumented.
+func WithTracer(tr *obs.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = tr }
 }
 
 // NewClient starts a session on an established connection. It sends
@@ -76,7 +139,10 @@ func NewClient(conn net.Conn, user, device string, opts ...ClientOption) (*Clien
 		opt(c)
 	}
 	c.jitterRNG = newJitterRNG(c.retry.Seed)
-	if err := send(conn, &protocol.Hello{User: user, Device: device, Version: "cloudsync/1"}); err != nil {
+	if c.tracer != nil {
+		c.conn = &meterConn{Conn: conn, in: &c.wireIn, out: &c.wireOut}
+	}
+	if err := send(c.conn, &protocol.Hello{User: user, Device: device, Version: "cloudsync/1"}); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -122,12 +188,27 @@ func (c *Client) read() (protocol.Message, error) {
 // path asks the server how much of the interrupted payload it already
 // buffered, re-sending only the unacknowledged tail.
 func (c *Client) Upload(name string, data []byte) (UploadStats, error) {
+	c.op = c.tracer.Start("client.upload",
+		obs.String("name", name), obs.Int("size", int64(len(data))))
+	in0, out0 := c.wireIn, c.wireOut
 	var stats UploadStats
 	err := c.withRetry(func(attempt int) error {
 		var err error
 		stats, err = c.uploadOnce(name, data, attempt)
 		return err
 	})
+	c.op.Set("attempts", stats.Attempts)
+	c.op.Set("payload_bytes", stats.PayloadBytes)
+	if stats.DedupHit {
+		c.op.Set("dedup_hit", true)
+	}
+	if stats.DeltaSync {
+		c.op.Set("delta_sync", true)
+	}
+	if stats.ResumedFrom > 0 {
+		c.op.Set("resumed_from", stats.ResumedFrom)
+	}
+	c.endOp(in0, out0, err)
 	return stats, err
 }
 
@@ -160,7 +241,15 @@ func isProtoErr(err error, out **protocol.Error) bool {
 }
 
 func (c *Client) fullUpload(name string, data []byte, attempt int) (UploadStats, error) {
+	sp := c.parent().Child("client.full_upload")
+	defer sp.End()
 	var stats UploadStats
+	defer func() {
+		sp.Set("payload_bytes", stats.PayloadBytes)
+		if stats.DedupHit {
+			sp.Set("dedup_hit", true)
+		}
+	}()
 	hash := md5.Sum(data)
 	payload := comp.Compress(data, c.compression)
 
@@ -229,6 +318,8 @@ func (c *Client) fullUpload(name string, data []byte, attempt int) (UploadStats,
 // resumeQuery asks the server how much of an interrupted upload it
 // already holds.
 func (c *Client) resumeQuery(name string, size int64, hash protocol.Fingerprint) (*protocol.ResumeInfo, error) {
+	sp := c.parent().Child("client.resume_query", obs.String("name", name))
+	defer sp.End()
 	if err := send(c.conn, &protocol.ResumeQuery{Name: name, Size: size, FileHash: hash}); err != nil {
 		return nil, err
 	}
@@ -240,11 +331,15 @@ func (c *Client) resumeQuery(name string, size int64, hash protocol.Fingerprint)
 	if !ok {
 		return nil, fmt.Errorf("syncnet: expected resume info, got %v", m.Type())
 	}
+	sp.Set("offset", info.Offset)
 	return info, nil
 }
 
 func (c *Client) deltaUpload(name string, data []byte) (UploadStats, error) {
+	sp := c.parent().Child("client.delta_sync")
+	defer sp.End()
 	var stats UploadStats
+	defer func() { sp.Set("payload_bytes", stats.PayloadBytes) }()
 	if err := send(c.conn, &protocol.SigRequest{Name: name, BlockSize: uint32(c.blockSize)}); err != nil {
 		return stats, err
 	}
@@ -256,6 +351,7 @@ func (c *Client) deltaUpload(name string, data []byte) (UploadStats, error) {
 	if !ok {
 		return stats, fmt.Errorf("syncnet: expected signature, got %v", m.Type())
 	}
+	sp.Set("sig_bytes", len(sigMsg.Payload))
 	sig, err := delta.DecodeSignature(sigMsg.Payload)
 	if err != nil {
 		return stats, err
@@ -294,12 +390,16 @@ func (c *Client) readAck() (*protocol.Ack, error) {
 // failure mid-transfer reconnects and re-requests the file from the
 // start.
 func (c *Client) Download(name string) ([]byte, error) {
+	c.op = c.tracer.Start("client.download", obs.String("name", name))
+	in0, out0 := c.wireIn, c.wireOut
 	var data []byte
 	err := c.withRetry(func(int) error {
 		var err error
 		data, err = c.downloadOnce(name)
 		return err
 	})
+	c.op.Set("size", len(data))
+	c.endOp(in0, out0, err)
 	return data, err
 }
 
@@ -353,6 +453,8 @@ func (c *Client) Delete(name string) error {
 	if !ok {
 		return fmt.Errorf("syncnet: %q was never synced by this client", name)
 	}
+	c.op = c.tracer.Start("client.delete", obs.String("name", name))
+	in0, out0 := c.wireIn, c.wireOut
 	err := c.withRetry(func(attempt int) error {
 		if err := send(c.conn, &protocol.Delete{FileID: id}); err != nil {
 			return err
@@ -366,6 +468,7 @@ func (c *Client) Delete(name string) error {
 		}
 		return err
 	})
+	c.endOp(in0, out0, err)
 	if err != nil {
 		return err
 	}

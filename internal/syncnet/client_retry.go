@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"cloudsync/internal/obs"
 	"cloudsync/internal/protocol"
 )
 
@@ -70,6 +71,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 func (c *Client) reconnect(attempt int) error {
 	c.conn.Close()
 	if d := c.backoff(attempt); d > 0 {
+		c.att.Set("backoff_us", d.Microseconds())
 		if c.retry.Sleep != nil {
 			c.retry.Sleep(d)
 		} else {
@@ -79,6 +81,9 @@ func (c *Client) reconnect(attempt int) error {
 	conn, err := c.dialer()
 	if err != nil {
 		return fmt.Errorf("syncnet: reconnect: %w", err)
+	}
+	if c.tracer != nil {
+		conn = &meterConn{Conn: conn, in: &c.wireIn, out: &c.wireOut}
 	}
 	if err := send(conn, &protocol.Hello{User: c.user, Device: c.device, Version: "cloudsync/1"}); err != nil {
 		conn.Close()
@@ -100,13 +105,22 @@ func (c *Client) withRetry(op func(attempt int) error) error {
 	}
 	var err error
 	for attempt := 1; attempt <= attempts; attempt++ {
+		c.att = c.op.Child("client.attempt", obs.Int("attempt", int64(attempt)))
 		if attempt > 1 {
 			if rerr := c.reconnect(attempt); rerr != nil {
 				err = rerr // dial failures consume attempts too
+				c.att.Set("error", rerr.Error()).End()
+				c.att = nil
 				continue
 			}
 		}
-		if err = op(attempt); err == nil {
+		err = op(attempt)
+		if err != nil {
+			c.att.Set("error", err.Error())
+		}
+		c.att.End()
+		c.att = nil
+		if err == nil {
 			return nil
 		}
 		var perr *protocol.Error

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"cloudsync/internal/obs"
 )
 
 // ErrInjectedFault marks a connection failure manufactured by a
@@ -47,6 +49,7 @@ type FaultScheduler struct {
 	mu    sync.Mutex
 	rng   jitterXorshift
 	stats FaultConnStats
+	cuts  *obs.Counter // live mirror of stats.Drops, nil-safe
 }
 
 // NewFaultScheduler builds a scheduler for the plan.
@@ -55,6 +58,14 @@ func NewFaultScheduler(plan FaultPlan) *FaultScheduler {
 		panic(fmt.Sprintf("syncnet: negative mean drop bytes %d", plan.MeanDropBytes))
 	}
 	return &FaultScheduler{plan: plan, rng: newJitterRNG(plan.Seed)}
+}
+
+// SetMetrics mirrors the scheduler's cut count into reg as
+// syncd_fault_cuts_total (no-op when reg is nil).
+func (fs *FaultScheduler) SetMetrics(reg *obs.Registry) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.cuts = reg.Counter("syncd_fault_cuts_total", "Connections cut by the fault-injection scheduler.")
 }
 
 // Stats snapshots the scheduler's counters.
@@ -188,7 +199,9 @@ func (fc *faultConn) trip() {
 
 	fc.fs.mu.Lock()
 	fc.fs.stats.Drops++
+	cuts := fc.fs.cuts
 	fc.fs.mu.Unlock()
+	cuts.Inc()
 
 	if cw, ok := fc.Conn.(closeWriter); ok {
 		cw.CloseWrite()

@@ -1,0 +1,71 @@
+package syncnet
+
+import (
+	"io"
+
+	"cloudsync/internal/obs"
+)
+
+// serverObs bundles the server's live-metric instruments. When the
+// server runs without a registry every field is nil, and the nil-safe
+// obs instruments make every update a no-op — the live path costs
+// nothing unless syncd was started with -obs-addr. The full metric
+// catalogue is documented in docs/OBSERVABILITY.md.
+type serverObs struct {
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+	sessions    *obs.Counter
+	activeConns *obs.Gauge
+
+	uploads    *obs.Counter
+	dedupSkips *obs.Counter
+	deltaSyncs *obs.Counter
+	downloads  *obs.Counter
+	deletes    *obs.Counter
+	resumes    *obs.Counter
+
+	pendingResumable *obs.Gauge
+	bytesStored      *obs.Gauge
+
+	sessionTUEMilli *obs.Histogram
+	requestUS       *obs.Histogram
+}
+
+// newServerObs registers the server's metric set on reg (no-op
+// instruments when reg is nil).
+func newServerObs(reg *obs.Registry) serverObs {
+	return serverObs{
+		bytesIn:     reg.Counter("syncd_bytes_received_total", "Bytes read off client connections (server-side wire view, up direction)."),
+		bytesOut:    reg.Counter("syncd_bytes_sent_total", "Bytes written to client connections (down direction)."),
+		sessions:    reg.Counter("syncd_sessions_total", "Client sessions accepted."),
+		activeConns: reg.Gauge("syncd_active_connections", "Client connections currently open."),
+
+		uploads:    reg.Counter("syncd_uploads_total", "Full-file uploads committed (dedup hits included)."),
+		dedupSkips: reg.Counter("syncd_dedup_skips_total", "Uploads whose content transfer was skipped by full-file dedup."),
+		deltaSyncs: reg.Counter("syncd_delta_syncs_total", "Files updated incrementally via rsync delta."),
+		downloads:  reg.Counter("syncd_downloads_total", "File downloads served."),
+		deletes:    reg.Counter("syncd_deletes_total", "Fake deletions applied."),
+		resumes:    reg.Counter("syncd_resumes_total", "Interrupted uploads adopted from the pending stash."),
+
+		pendingResumable: reg.Gauge("syncd_pending_resumable", "Stashed partial uploads currently held for resumption."),
+		bytesStored:      reg.Gauge("syncd_bytes_stored", "Unique raw content bytes in the dedup content store."),
+
+		sessionTUEMilli: reg.Histogram("syncd_session_tue_milli", "Per-session TUE x1000: wire bytes received / content bytes committed, for sessions that committed content."),
+		requestUS:       reg.Histogram("syncd_request_duration_us", "Per-request handling time in microseconds."),
+	}
+}
+
+// countingWriter mirrors countingReader for the send direction: it
+// tallies bytes into the per-session counter and the live metric.
+type countingWriter struct {
+	w    io.Writer
+	n    *int64
+	obsC *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	*cw.n += int64(n)
+	cw.obsC.Add(int64(n))
+	return n, err
+}

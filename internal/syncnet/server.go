@@ -22,10 +22,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cloudsync/internal/comp"
 	"cloudsync/internal/dedup"
 	"cloudsync/internal/delta"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/protocol"
 )
 
@@ -54,6 +56,13 @@ type ServerConfig struct {
 	// Logf, when set, receives one line per handled request (useful in
 	// syncd; tests leave it nil).
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the server's live metric set (the
+	// syncd_* catalogue in docs/OBSERVABILITY.md). Nil keeps the
+	// uninstrumented zero-overhead behaviour.
+	Metrics *obs.Registry
+	// Tracer, when set, records one span per client session with one
+	// child span per handled request. Nil disables tracing at no cost.
+	Tracer *obs.Tracer
 }
 
 type serverFile struct {
@@ -115,6 +124,8 @@ type Server struct {
 
 	handlers      sync.WaitGroup // serve loops + connection handlers
 	bytesReceived atomic.Int64
+
+	om serverObs
 }
 
 // NewServer constructs a server.
@@ -133,6 +144,7 @@ func NewServer(cfg ServerConfig) *Server {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		pending:   make(map[pendingKey]*pendingUpload),
+		om:        newServerObs(cfg.Metrics),
 	}
 }
 
@@ -224,6 +236,8 @@ func (s *Server) register(conn net.Conn) error {
 	s.conns[conn] = struct{}{}
 	s.handlers.Add(1)
 	s.stats.Sessions++
+	s.om.sessions.Inc()
+	s.om.activeConns.Add(1)
 	return nil
 }
 
@@ -231,18 +245,25 @@ func (s *Server) unregister(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	s.om.activeConns.Add(-1)
 	s.handlers.Done()
 }
 
-// countingReader tallies the bytes the server reads off a connection.
+// countingReader tallies the bytes the server reads off a connection:
+// into the server-wide atomic, the live metric, and the per-session
+// counter that feeds the session-TUE histogram.
 type countingReader struct {
-	r io.Reader
-	n *atomic.Int64
+	r    io.Reader
+	n    *atomic.Int64
+	sess *int64
+	obsC *obs.Counter
 }
 
 func (cr *countingReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
 	cr.n.Add(int64(n))
+	*cr.sess += int64(n)
+	cr.obsC.Add(int64(n))
 	return n, err
 }
 
@@ -257,7 +278,9 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	}
 	defer s.unregister(conn)
 	defer conn.Close()
-	r := &countingReader{r: conn, n: &s.bytesReceived}
+	sess := &session{srv: s, conn: conn}
+	r := &countingReader{r: conn, n: &s.bytesReceived, sess: &sess.wireIn, obsC: s.om.bytesIn}
+	sess.w = &countingWriter{w: conn, n: &sess.wireOut, obsC: s.om.bytesOut}
 
 	first, err := protocol.ReadMessage(r)
 	if err != nil {
@@ -265,10 +288,13 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	}
 	hello, ok := first.(*protocol.Hello)
 	if !ok {
-		sendErr(conn, protocol.ErrBadRequest, "expected hello")
+		sendErr(sess.w, protocol.ErrBadRequest, "expected hello")
 		return fmt.Errorf("syncnet: first message was %v", first.Type())
 	}
-	sess := &session{srv: s, conn: conn, user: hello.User}
+	sess.user = hello.User
+	sess.span = s.cfg.Tracer.Start("server.session",
+		obs.String("user", hello.User), obs.String("device", hello.Device))
+	defer sess.finish()
 	defer sess.stash()
 	s.logf("session start user=%s device=%s", hello.User, hello.Device)
 	for {
@@ -279,9 +305,38 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		if err != nil {
 			return fmt.Errorf("syncnet: reading message: %w", err)
 		}
-		if err := sess.handle(msg); err != nil {
+		if err := sess.dispatch(msg); err != nil {
 			return err
 		}
+	}
+}
+
+// dispatch runs one request through handle, wrapped in its span and
+// duration metric.
+func (ss *session) dispatch(msg protocol.Message) error {
+	var t0 time.Time
+	if ss.srv.om.requestUS != nil {
+		t0 = time.Now()
+	}
+	sp := ss.span.Child("server." + msg.Type().String())
+	err := ss.handle(msg)
+	sp.End()
+	if ss.srv.om.requestUS != nil {
+		ss.srv.om.requestUS.Observe(time.Since(t0).Microseconds())
+	}
+	return err
+}
+
+// finish closes the session span with the wire totals and feeds the
+// per-session TUE histogram (wire bytes in over content bytes
+// committed, in thousandths) for sessions that committed content.
+func (ss *session) finish() {
+	ss.span.Set("bytes_in", ss.wireIn)
+	ss.span.Set("bytes_out", ss.wireOut)
+	ss.span.Set("content_bytes", ss.contentBytes)
+	ss.span.End()
+	if ss.contentBytes > 0 {
+		ss.srv.om.sessionTUEMilli.Observe(ss.wireIn * 1000 / ss.contentBytes)
 	}
 }
 
@@ -338,14 +393,21 @@ func (s *Server) FileContent(user, name string) ([]byte, bool) {
 	return append([]byte(nil), f.data...), true
 }
 
-// session is the per-connection state: an in-progress upload and the
-// authenticated user.
+// session is the per-connection state: an in-progress upload, the
+// authenticated user, and the session's observability context (wire
+// byte counters, content-commit total, span).
 type session struct {
 	srv  *Server
 	conn net.Conn
+	w    io.Writer // conn wrapped with send-side byte counting
 	user string
 
 	upload *pendingUpload
+
+	wireIn       int64
+	wireOut      int64
+	contentBytes int64 // raw content bytes committed this session
+	span         *obs.Span
 }
 
 type pendingUpload struct {
@@ -377,6 +439,7 @@ func (ss *session) stash() {
 		s.pendingOrder = append(s.pendingOrder, key)
 	}
 	s.pending[key] = up
+	s.om.pendingResumable.Set(int64(len(s.pending)))
 	s.logf("stashed partial upload %s/%s (%d bytes buffered)", ss.user, up.name, len(up.buf))
 }
 
@@ -418,7 +481,7 @@ func (ss *session) handle(msg protocol.Message) error {
 	case *protocol.DeltaMsg:
 		return ss.onDelta(m)
 	default:
-		sendErr(ss.conn, protocol.ErrBadRequest, fmt.Sprintf("unexpected %v", msg.Type()))
+		sendErr(ss.w, protocol.ErrBadRequest, fmt.Sprintf("unexpected %v", msg.Type()))
 		return fmt.Errorf("syncnet: unexpected message %v", msg.Type())
 	}
 }
@@ -444,7 +507,7 @@ func (ss *session) onIndexUpdate(m *protocol.IndexUpdate) error {
 	s.mu.Unlock()
 
 	ss.upload = &pendingUpload{id: id, name: m.Name, size: m.Size, hash: m.FileHash, dedupHit: hit}
-	return send(ss.conn, &protocol.IndexReply{FileID: id, DedupHit: hit})
+	return send(ss.w, &protocol.IndexReply{FileID: id, DedupHit: hit})
 }
 
 // onResumeQuery adopts a stashed partial upload matching the client's
@@ -454,23 +517,25 @@ func (ss *session) onResumeQuery(m *protocol.ResumeQuery) error {
 	s := ss.srv
 	up := s.takePending(pendingKey{user: ss.user, name: m.Name, size: m.Size, hash: m.FileHash})
 	if up == nil {
-		return send(ss.conn, &protocol.ResumeInfo{})
+		return send(ss.w, &protocol.ResumeInfo{})
 	}
 	ss.upload = up
 	s.mu.Lock()
 	s.stats.Resumes++
+	s.om.pendingResumable.Set(int64(len(s.pending)))
 	s.mu.Unlock()
+	s.om.resumes.Inc()
 	s.logf("resuming %s/%s at offset %d", ss.user, up.name, len(up.buf))
-	return send(ss.conn, &protocol.ResumeInfo{FileID: up.id, Offset: int64(len(up.buf))})
+	return send(ss.w, &protocol.ResumeInfo{FileID: up.id, Offset: int64(len(up.buf))})
 }
 
 func (ss *session) onData(m *protocol.Data) error {
 	if ss.upload == nil || ss.upload.id != m.FileID {
-		sendErr(ss.conn, protocol.ErrBadRequest, "data without matching index update")
+		sendErr(ss.w, protocol.ErrBadRequest, "data without matching index update")
 		return fmt.Errorf("syncnet: stray data for file %d", m.FileID)
 	}
 	if int64(m.Offset) != int64(len(ss.upload.buf)) {
-		sendErr(ss.conn, protocol.ErrBadRequest, "out-of-order data")
+		sendErr(ss.w, protocol.ErrBadRequest, "out-of-order data")
 		return fmt.Errorf("syncnet: data offset %d, expected %d", m.Offset, len(ss.upload.buf))
 	}
 	ss.upload.buf = append(ss.upload.buf, m.Payload...)
@@ -480,7 +545,7 @@ func (ss *session) onData(m *protocol.Data) error {
 func (ss *session) onCommit(m *protocol.Commit) error {
 	up := ss.upload
 	if up == nil || up.id != m.FileID {
-		sendErr(ss.conn, protocol.ErrBadRequest, "commit without upload")
+		sendErr(ss.w, protocol.ErrBadRequest, "commit without upload")
 		return fmt.Errorf("syncnet: stray commit for file %d", m.FileID)
 	}
 	ss.upload = nil
@@ -495,21 +560,21 @@ func (ss *session) onCommit(m *protocol.Commit) error {
 		var err error
 		raw, err = comp.Decompress(up.buf, s.cfg.Compression)
 		if err != nil {
-			sendErr(ss.conn, protocol.ErrBadRequest, "undecodable content")
+			sendErr(ss.w, protocol.ErrBadRequest, "undecodable content")
 			return fmt.Errorf("syncnet: decompress: %w", err)
 		}
 	}
 	if int64(len(raw)) != up.size {
-		sendErr(ss.conn, protocol.ErrBadRequest, "content size mismatch")
+		sendErr(ss.w, protocol.ErrBadRequest, "content size mismatch")
 		return fmt.Errorf("syncnet: committed %d bytes, announced %d", len(raw), up.size)
 	}
 	if md5.Sum(raw) != up.hash {
-		sendErr(ss.conn, protocol.ErrBadRequest, "content hash mismatch")
+		sendErr(ss.w, protocol.ErrBadRequest, "content hash mismatch")
 		return fmt.Errorf("syncnet: content hash mismatch for %q", up.name)
 	}
 
 	version := ss.store(up.name, up.id, raw, up.hash, up.dedupHit)
-	return send(ss.conn, &protocol.Ack{FileID: up.id, Version: version, OK: true})
+	return send(ss.w, &protocol.Ack{FileID: up.id, Version: version, OK: true})
 }
 
 // store commits raw content under the user's name and returns the new
@@ -536,7 +601,11 @@ func (ss *session) store(name string, id uint64, raw []byte, hash protocol.Finge
 	s.stats.Uploads++
 	if wasDedup {
 		s.stats.DedupSkips++
+		s.om.dedupSkips.Inc()
 	}
+	s.om.uploads.Inc()
+	s.om.bytesStored.Set(s.stats.BytesStored)
+	ss.contentBytes += int64(len(raw))
 	s.logf("stored %s/%s v%d (%d bytes, dedup=%v)", ss.user, name, f.version, len(raw), wasDedup)
 	return f.version
 }
@@ -553,7 +622,7 @@ func (ss *session) onDelete(m *protocol.Delete) error {
 	}
 	if target == nil || target.deleted {
 		s.mu.Unlock()
-		sendErr(ss.conn, protocol.ErrNotFound, "no such file")
+		sendErr(ss.w, protocol.ErrNotFound, "no such file")
 		return nil
 	}
 	target.deleted = true // fake deletion: content retained
@@ -561,7 +630,8 @@ func (ss *session) onDelete(m *protocol.Delete) error {
 	s.stats.Deletes++
 	version := target.version
 	s.mu.Unlock()
-	return send(ss.conn, &protocol.Ack{FileID: m.FileID, Version: version, OK: true})
+	s.om.deletes.Inc()
+	return send(ss.w, &protocol.Ack{FileID: m.FileID, Version: version, OK: true})
 }
 
 func (ss *session) onGet(m *protocol.Get) error {
@@ -570,7 +640,7 @@ func (ss *session) onGet(m *protocol.Get) error {
 	f := s.files(ss.user)[m.Name]
 	if f == nil || f.deleted {
 		s.mu.Unlock()
-		sendErr(ss.conn, protocol.ErrNotFound, "no such file")
+		sendErr(ss.w, protocol.ErrNotFound, "no such file")
 		return nil
 	}
 	raw := f.data
@@ -580,8 +650,9 @@ func (ss *session) onGet(m *protocol.Get) error {
 	}
 	s.stats.Downloads++
 	s.mu.Unlock()
+	s.om.downloads.Inc()
 
-	if err := send(ss.conn, info); err != nil {
+	if err := send(ss.w, info); err != nil {
 		return err
 	}
 	payload := comp.Compress(raw, s.cfg.Compression)
@@ -590,14 +661,14 @@ func (ss *session) onGet(m *protocol.Get) error {
 		if end > len(payload) {
 			end = len(payload)
 		}
-		if err := send(ss.conn, &protocol.Data{FileID: info.FileID, Offset: int64(off), Payload: payload[off:end]}); err != nil {
+		if err := send(ss.w, &protocol.Data{FileID: info.FileID, Offset: int64(off), Payload: payload[off:end]}); err != nil {
 			return err
 		}
 		if len(payload) == 0 {
 			break
 		}
 	}
-	return send(ss.conn, &protocol.Ack{FileID: info.FileID, Version: info.Version, OK: true})
+	return send(ss.w, &protocol.Ack{FileID: info.FileID, Version: info.Version, OK: true})
 }
 
 func (ss *session) onSigRequest(m *protocol.SigRequest) error {
@@ -610,18 +681,18 @@ func (ss *session) onSigRequest(m *protocol.SigRequest) error {
 	f := s.files(ss.user)[m.Name]
 	if f == nil || f.deleted {
 		s.mu.Unlock()
-		sendErr(ss.conn, protocol.ErrNotFound, "no such file")
+		sendErr(ss.w, protocol.ErrNotFound, "no such file")
 		return nil
 	}
 	sig := delta.Sign(f.data, bs)
 	s.mu.Unlock()
-	return send(ss.conn, &protocol.SignatureMsg{Name: m.Name, Payload: sig.Encode()})
+	return send(ss.w, &protocol.SignatureMsg{Name: m.Name, Payload: sig.Encode()})
 }
 
 func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	d, err := delta.DecodeDelta(m.Payload)
 	if err != nil {
-		sendErr(ss.conn, protocol.ErrBadRequest, "undecodable delta")
+		sendErr(ss.w, protocol.ErrBadRequest, "undecodable delta")
 		return fmt.Errorf("syncnet: %w", err)
 	}
 	s := ss.srv
@@ -629,7 +700,7 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	f := s.files(ss.user)[m.Name]
 	if f == nil || f.deleted {
 		s.mu.Unlock()
-		sendErr(ss.conn, protocol.ErrNotFound, "no such file")
+		sendErr(ss.w, protocol.ErrNotFound, "no such file")
 		return nil
 	}
 	basis := f.data
@@ -637,7 +708,7 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 
 	raw, err := delta.Apply(basis, d)
 	if err != nil {
-		sendErr(ss.conn, protocol.ErrBadRequest, "inapplicable delta")
+		sendErr(ss.w, protocol.ErrBadRequest, "inapplicable delta")
 		return fmt.Errorf("syncnet: %w", err)
 	}
 	s.mu.Lock()
@@ -653,20 +724,24 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	s.stats.DeltaSyncs++
 	version := f.version
 	id := f.id
+	stored := s.stats.BytesStored
 	s.mu.Unlock()
+	s.om.deltaSyncs.Inc()
+	s.om.bytesStored.Set(stored)
+	ss.contentBytes += int64(len(raw))
 	ss.srv.logf("delta-synced %s/%s v%d (%d literal bytes)", ss.user, m.Name, version, d.LiteralBytes())
-	return send(ss.conn, &protocol.Ack{FileID: id, Version: version, OK: true})
+	return send(ss.w, &protocol.Ack{FileID: id, Version: version, OK: true})
 }
 
-func send(conn net.Conn, m protocol.Message) error {
-	if _, err := conn.Write(protocol.Encode(m)); err != nil {
+func send(w io.Writer, m protocol.Message) error {
+	if _, err := w.Write(protocol.Encode(m)); err != nil {
 		return fmt.Errorf("syncnet: sending %v: %w", m.Type(), err)
 	}
 	return nil
 }
 
-func sendErr(conn net.Conn, code uint32, msg string) {
-	if err := send(conn, &protocol.Error{Code: code, Msg: msg}); err != nil {
+func sendErr(w io.Writer, code uint32, msg string) {
+	if err := send(w, &protocol.Error{Code: code, Msg: msg}); err != nil {
 		log.Printf("syncnet: sending error reply: %v", err)
 	}
 }
