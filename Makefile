@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-obs tuebench
+.PHONY: check build vet test race bench bench-obs bench-core tuebench
 
 # check is the full gate: compile everything, vet, and run the test
 # suite under the race detector (the experiment layer is concurrent).
@@ -31,6 +31,15 @@ bench-obs:
 		./internal/obs ./internal/syncnet \
 		| $(GO) run ./internal/obs/benchjson > BENCH_obs.json
 	cat BENCH_obs.json
+
+# bench-core records the experiment-table baseline: every root-package
+# benchmark (the paper tables and figures) at -benchtime 1x, dumped
+# as-is into BENCH_core.json. ns/op is machine-dependent — the
+# trajectory to watch is allocation counts and relative shape.
+bench-core:
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . \
+		| $(GO) run ./internal/obs/benchjson -raw > BENCH_core.json
+	cat BENCH_core.json
 
 tuebench:
 	$(GO) run ./cmd/tuebench -quick

@@ -22,6 +22,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"cloudsync/internal/comp"
 	"cloudsync/internal/obs"
@@ -59,15 +62,17 @@ func main() {
 	}
 
 	var reg *obs.Registry
+	var obsSrv *obs.HTTPServer
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
-		obsListen, _, err := obs.ListenAndServe(*obsAddr, reg)
+		var err error
+		obsSrv, err = obs.ListenAndServe(*obsAddr, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "syncd: observability listener: %v\n", err)
 			os.Exit(1)
 		}
-		log.Printf("syncd: observability on http://%s/metrics (+ /healthz, /debug/pprof/)", obsListen)
+		log.Printf("syncd: observability on http://%s/metrics (+ /healthz, /debug/pprof/)", obsSrv.Addr())
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -86,8 +91,34 @@ func main() {
 		log.Printf("syncd: fault injection armed (~%d bytes/conn, max drops %d, seed %d)",
 			*faultBytes, *faultDrops, *faultSeed)
 	}
-	if err := syncnet.NewServer(cfg).Serve(l); err != nil {
+
+	srv := syncnet.NewServer(cfg)
+	if obsSrv != nil {
+		// The server owns the observability endpoint's lifetime: Close
+		// (below, on shutdown) drains the handlers, then closes it.
+		srv.AttachCloser(obsSrv)
+	}
+
+	// SIGINT/SIGTERM close the listener; Serve returns, and the graceful
+	// path below drains in-flight sessions and the obs endpoint.
+	var shuttingDown atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("syncd: received %v, shutting down", sig)
+		shuttingDown.Store(true)
+		l.Close()
+	}()
+
+	err = srv.Serve(l)
+	if err != nil && !shuttingDown.Load() {
 		fmt.Fprintf(os.Stderr, "syncd: %v\n", err)
 		os.Exit(1)
 	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "syncd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("syncd: shutdown complete")
 }

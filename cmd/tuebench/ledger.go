@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cloudsync/internal/core"
+	"cloudsync/internal/obs/ledger"
+)
+
+// ledgerDump is the on-disk shape of `tuebench -ledger-out`: one entry
+// per explain-experiment cell, keyed "section/service/param", each
+// carrying its full per-cause byte breakdown. The dump is what
+// cmd/tuediff consumes to flag attribution drift between two builds.
+type ledgerDump struct {
+	// Cells maps "section/service/param" to that cell's decomposition.
+	Cells map[string]ledgerDumpCell `json:"cells"`
+}
+
+type ledgerDumpCell struct {
+	Causes  ledger.Snapshot `json:"causes"`
+	Traffic int64           `json:"traffic"`
+}
+
+// dumpKey names a cell deterministically. Sizes print as plain byte
+// counts and loss probabilities as %g, so keys are stable across runs
+// and readable in diffs.
+func dumpKey(section string, c core.ExplainCell) string {
+	var param string
+	switch section {
+	case "faults":
+		param = strconv.FormatFloat(c.Param, 'g', -1, 64)
+	default:
+		param = strconv.FormatInt(int64(c.Param), 10)
+	}
+	return section + "/" + c.Service.String() + "/" + param
+}
+
+// buildLedgerDump flattens an explain result into the dump shape.
+func buildLedgerDump(res core.ExplainResult) ledgerDump {
+	dump := ledgerDump{Cells: map[string]ledgerDumpCell{}}
+	for section, cells := range map[string][]core.ExplainCell{
+		"creation": res.Creation, "modification": res.Modification, "faults": res.Faults,
+	} {
+		for _, c := range cells {
+			key := dumpKey(section, c)
+			if _, dup := dump.Cells[key]; dup {
+				panic(fmt.Sprintf("tuebench: duplicate ledger dump key %q", key))
+			}
+			dump.Cells[key] = ledgerDumpCell{Causes: c.Causes, Traffic: c.Traffic}
+		}
+	}
+	return dump
+}
+
+// writeLedgerDump renders an explain result as the canonical JSON dump
+// (sorted keys, indented — stable bytes for goldens and diffs).
+func writeLedgerDump(w io.Writer, res core.ExplainResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(buildLedgerDump(res))
+}

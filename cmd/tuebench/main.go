@@ -10,11 +10,20 @@
 //	tuebench -workers 8          # experiment worker-pool size (1 = sequential)
 //	tuebench -list               # list artifact names
 //	tuebench -trace out.json     # Chrome trace of per-cell runtimes
+//	tuebench -explain            # per-cause TUE decomposition tables
+//	tuebench -ledger-out l.json  # per-cell cause breakdown for tuediff
 //
 // -trace records one span per simulated experiment cell (wall-clock
 // timed, so the trace shows where regeneration time goes across the
 // worker pool) and writes Chrome trace_event JSON loadable in
 // chrome://tracing or Perfetto. Tracing never changes the tables.
+//
+// -explain selects the decomposition artifact: each cell's sync traffic
+// split into the attribution ledger's causes (metadata, payload, dedup
+// probes, delta literals/copy references, resume, retransmit, framing),
+// asserted to sum exactly to the cell's wire bytes. -ledger-out writes
+// the same decomposition as deterministic JSON; cmd/tuediff compares
+// two such dumps and flags per-cause drift.
 package main
 
 import (
@@ -185,20 +194,28 @@ var experiments = []experiment{
 		}
 		return core.RenderFaultSweep(core.FaultSweep(probs))
 	}},
+	{"explain", "per-cause traffic decomposition / explainable TUE", func(c config) string {
+		return core.RenderExplain(core.ExplainAll(c.quick))
+	}},
 }
 
 func main() {
 	var (
-		name     = flag.String("experiment", "all", "artifact to regenerate (see -list)")
-		quick    = flag.Bool("quick", false, "reduced parameter sweeps")
-		scale    = flag.Float64("scale", 0.05, "trace scale (1.0 = full 222,632 files)")
-		seed     = flag.Int64("seed", 1, "trace generation seed")
-		workers  = flag.Int("workers", 0, "experiment worker-pool size (0 = GOMAXPROCS; 1 = sequential)")
-		list     = flag.Bool("list", false, "list artifact names and exit")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event file of per-cell runtimes")
+		name      = flag.String("experiment", "all", "artifact to regenerate (see -list)")
+		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
+		scale     = flag.Float64("scale", 0.05, "trace scale (1.0 = full 222,632 files)")
+		seed      = flag.Int64("seed", 1, "trace generation seed")
+		workers   = flag.Int("workers", 0, "experiment worker-pool size (0 = GOMAXPROCS; 1 = sequential)")
+		list      = flag.Bool("list", false, "list artifact names and exit")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event file of per-cell runtimes")
+		explain   = flag.Bool("explain", false, "shorthand for -experiment explain (per-cause TUE decomposition)")
+		ledgerOut = flag.String("ledger-out", "", "write the explain experiment's per-cell cause breakdown as JSON (for tuediff)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	if *explain {
+		*name = "explain"
+	}
 
 	var tracer *obs.Tracer
 	if *traceOut != "" {
@@ -249,6 +266,25 @@ func main() {
 	}
 	fmt.Printf("regenerated %d artifact(s) in %v (%d worker(s))\n",
 		ran, time.Since(start).Round(time.Millisecond), parallel.Workers())
+
+	if *ledgerOut != "" {
+		// The dump is regenerated from a fresh seed state, so its bytes
+		// are identical no matter which artifacts ran above — two builds
+		// can always be tuediff'ed against each other.
+		core.ResetContentSeeds()
+		f, err := os.Create(*ledgerOut)
+		if err == nil {
+			err = writeLedgerDump(f, core.ExplainAll(*quick))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuebench: writing ledger dump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tuebench: ledger dump written to %s\n", *ledgerOut)
+	}
 
 	if tracer != nil {
 		f, err := os.Create(*traceOut)

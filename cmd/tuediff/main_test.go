@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudsync/internal/obs/ledger"
+)
+
+func writeTestDump(t *testing.T, name string, cells map[string]map[ledger.Cause]int64) string {
+	t.Helper()
+	d := dump{Cells: map[string]struct {
+		Causes  ledger.Snapshot `json:"causes"`
+		Traffic int64           `json:"traffic"`
+	}{}}
+	for key, causes := range cells {
+		var snap ledger.Snapshot
+		led := &ledger.Ledger{}
+		for c, n := range causes {
+			led.Add(c, n)
+		}
+		snap = led.Snapshot()
+		d.Cells[key] = struct {
+			Causes  ledger.Snapshot `json:"causes"`
+			Traffic int64           `json:"traffic"`
+		}{Causes: snap, Traffic: snap.Total()}
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffAgreement(t *testing.T) {
+	cells := map[string]map[ledger.Cause]int64{
+		"creation/Dropbox/1024": {ledger.Metadata: 100, ledger.Payload: 1024, ledger.Framing: 32},
+	}
+	a := mustRead(t, writeTestDump(t, "a.json", cells))
+	b := mustRead(t, writeTestDump(t, "b.json", cells))
+	if code := diff(a, b, 0, 0); code != 0 {
+		t.Fatalf("identical dumps: exit %d, want 0", code)
+	}
+}
+
+func TestDiffFlagsDrift(t *testing.T) {
+	a := mustRead(t, writeTestDump(t, "a.json", map[string]map[ledger.Cause]int64{
+		"creation/Dropbox/1024": {ledger.Metadata: 100, ledger.Payload: 1024},
+	}))
+	b := mustRead(t, writeTestDump(t, "b.json", map[string]map[ledger.Cause]int64{
+		"creation/Dropbox/1024": {ledger.Metadata: 100, ledger.Payload: 1500},
+	}))
+	if code := diff(a, b, 0, 0); code != 1 {
+		t.Fatalf("payload drifted 1024->1500: exit %d, want 1", code)
+	}
+	// Large absolute tolerance forgives it; percentage alone does not
+	// (46% > 10%).
+	if code := diff(a, b, 1000, 0); code != 0 {
+		t.Fatalf("drift within -tolerance-bytes 1000: exit %d, want 0", code)
+	}
+	if code := diff(a, b, 0, 10); code != 1 {
+		t.Fatalf("46%% drift with -tolerance-pct 10: exit %d, want 1", code)
+	}
+	if code := diff(a, b, 0, 50); code != 0 {
+		t.Fatalf("46%% drift with -tolerance-pct 50: exit %d, want 0", code)
+	}
+}
+
+func TestDiffFlagsNewAndMissingCells(t *testing.T) {
+	a := mustRead(t, writeTestDump(t, "a.json", map[string]map[ledger.Cause]int64{
+		"creation/Dropbox/1024": {ledger.Payload: 1},
+		"creation/Box/1024":     {ledger.Payload: 2},
+	}))
+	b := mustRead(t, writeTestDump(t, "b.json", map[string]map[ledger.Cause]int64{
+		"creation/Dropbox/1024": {ledger.Payload: 1},
+		"faults/Dropbox/0.05":   {ledger.Retransmit: 3},
+	}))
+	if code := diff(a, b, 1<<30, 100); code != 1 {
+		t.Fatal("new and missing cells must fail regardless of tolerance")
+	}
+}
+
+func TestReadDumpRejectsUnknownCause(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	body := `{"cells":{"x/y/1":{"causes":{"wormhole":9},"traffic":9}}}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readDump(path); err == nil || !strings.Contains(err.Error(), "wormhole") {
+		t.Fatalf("unknown cause accepted, err=%v", err)
+	}
+}
+
+func mustRead(t *testing.T, path string) dump {
+	t.Helper()
+	d, err := readDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -12,6 +12,8 @@ package capture
 import (
 	"fmt"
 	"time"
+
+	"cloudsync/internal/obs/ledger"
 )
 
 // Endpoint identifies one side of a flow (for example "client:M1" or
@@ -100,6 +102,10 @@ type Packet struct {
 	// Segments is the number of MSS-sized wire segments aggregated in
 	// this entry (≥ 1).
 	Segments int
+	// Cause attributes the App bytes of this packet when a ledger is
+	// attached. ledger.Unset means "derive from Kind": data→payload,
+	// control→metadata, handshake/ack→framing.
+	Cause ledger.Cause
 }
 
 // DirStats accumulates per-direction totals.
@@ -122,6 +128,32 @@ type Capture struct {
 	dir     [2]DirStats
 	kind    [numKinds]int64
 	flows   map[Flow]*DirStats
+	led     *ledger.Ledger
+}
+
+// SetLedger attaches a traffic-attribution ledger. Every subsequently
+// recorded packet charges its App bytes to its (effective) Cause and
+// its Wire−App overhead to ledger.Framing, so the ledger's total always
+// equals the capture's wire-byte total from the attach point on.
+// Reset does not clear or detach the ledger; pass nil to detach.
+func (c *Capture) SetLedger(l *ledger.Ledger) { c.led = l }
+
+// Ledger returns the attached ledger, or nil.
+func (c *Capture) Ledger() *ledger.Ledger { return c.led }
+
+// effectiveCause resolves a packet's charge cause, defaulting by kind.
+func effectiveCause(p Packet) ledger.Cause {
+	if p.Cause != ledger.Unset {
+		return p.Cause
+	}
+	switch p.Kind {
+	case KindData:
+		return ledger.Payload
+	case KindControl:
+		return ledger.Metadata
+	default: // handshake, ack: pure transport
+		return ledger.Framing
+	}
 }
 
 // New returns a counting-only capture. Set Retain before recording to
@@ -165,6 +197,13 @@ func (c *Capture) Record(p Packet) {
 	fs.AppBytes += int64(p.App)
 	fs.Packets++
 	fs.Segments += int64(p.Segments)
+	if c.led != nil {
+		// App → cause, overhead → framing: each packet contributes
+		// exactly Wire bytes, so sum(causes) == TotalBytes by
+		// construction.
+		c.led.Add(effectiveCause(p), int64(p.App))
+		c.led.Add(ledger.Framing, int64(p.Wire-p.App))
+	}
 }
 
 // TotalBytes reports total wire bytes in both directions — the "total

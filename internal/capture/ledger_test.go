@@ -1,0 +1,67 @@
+package capture
+
+import (
+	"testing"
+
+	"cloudsync/internal/obs/ledger"
+)
+
+// TestLedgerChargesEveryWireByte pins the charging rule: App bytes go
+// to the packet's effective cause, Wire−App to framing, so the ledger
+// total always equals the capture's wire total.
+func TestLedgerChargesEveryWireByte(t *testing.T) {
+	c := New()
+	led := ledger.New()
+	c.SetLedger(led)
+	f := Flow{Src: "client", Dst: "cloud"}
+
+	c.Record(Packet{Flow: f, Dir: Up, Kind: KindHandshake, Wire: 500})
+	c.Record(Packet{Flow: f, Dir: Up, Kind: KindControl, Wire: 300, App: 120})
+	c.Record(Packet{Flow: f, Dir: Up, Kind: KindData, Wire: 1100, App: 1000})
+	c.Record(Packet{Flow: f, Dir: Up, Kind: KindData, Wire: 90, App: 64, Cause: ledger.Retransmit})
+	c.Record(Packet{Flow: f, Dir: Up, Kind: KindControl, Wire: 60, App: 16, Cause: ledger.DedupProbe})
+	c.Record(Packet{Flow: f.Reverse(), Dir: Down, Kind: KindAck, Wire: 66})
+
+	if got, want := led.Total(), c.TotalBytes(); got != want {
+		t.Fatalf("ledger total %d != capture total %d", got, want)
+	}
+	checks := []struct {
+		cause ledger.Cause
+		want  int64
+	}{
+		{ledger.Metadata, 120},
+		{ledger.Payload, 1000},
+		{ledger.Retransmit, 64},
+		{ledger.DedupProbe, 16},
+		// framing = all handshake/ack wire + every packet's Wire−App
+		{ledger.Framing, 500 + 66 + (300 - 120) + (1100 - 1000) + (90 - 64) + (60 - 16)},
+	}
+	for _, ck := range checks {
+		if got := led.Get(ck.cause); got != ck.want {
+			t.Errorf("%s = %d, want %d", ck.cause, got, ck.want)
+		}
+	}
+}
+
+// TestLedgerDetachAndResetSurvival: Reset clears counters but keeps the
+// ledger attached; SetLedger(nil) detaches.
+func TestLedgerDetachAndResetSurvival(t *testing.T) {
+	c := New()
+	led := ledger.New()
+	c.SetLedger(led)
+	f := Flow{Src: "a", Dst: "b"}
+	c.Record(Packet{Flow: f, Dir: Up, Kind: KindData, Wire: 10, App: 10})
+	c.Reset()
+	if c.Ledger() != led {
+		t.Fatal("Reset detached the ledger")
+	}
+	c.Record(Packet{Flow: f, Dir: Up, Kind: KindData, Wire: 5, App: 5})
+	if got := led.Get(ledger.Payload); got != 15 {
+		t.Fatalf("Payload = %d, want 15 (ledger is not reset by Capture.Reset)", got)
+	}
+	c.SetLedger(nil)
+	c.Record(Packet{Flow: f, Dir: Up, Kind: KindData, Wire: 5, App: 5})
+	if got := led.Get(ledger.Payload); got != 15 {
+		t.Fatalf("detached ledger still charged: %d", got)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"cloudsync/internal/hardware"
 	"cloudsync/internal/netem"
 	"cloudsync/internal/obs"
+	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/protocol"
 	"cloudsync/internal/simclock"
 	"cloudsync/internal/vfs"
@@ -531,6 +532,7 @@ func (c *Client) bundleExchanges(bundle []workItem) []netem.Exchange {
 		UpApp:   indexUp,
 		DownApp: replyDown,
 		Kind:    capturepkg.KindControl,
+		Cause:   indexCause(bundle),
 	}}
 	if payload > 0 {
 		ex = append(ex, netem.Exchange{
@@ -540,6 +542,18 @@ func (c *Client) bundleExchanges(bundle []workItem) []netem.Exchange {
 		})
 	}
 	return ex
+}
+
+// indexCause attributes an index exchange: when it carries content
+// fingerprints it is a dedup probe ("do you already have these
+// blocks?"), otherwise plain metadata.
+func indexCause(items []workItem) ledger.Cause {
+	for _, item := range items {
+		if item.decision.IndexFingerprints > 0 {
+			return ledger.DedupProbe
+		}
+	}
+	return ledger.Unset // → metadata via the control default
 }
 
 // fileExchanges composes the per-file exchange sequence: index update,
@@ -570,12 +584,20 @@ func (c *Client) fileExchanges(item workItem) []netem.Exchange {
 		UpApp:   indexUp,
 		DownApp: replyDown,
 		Kind:    capturepkg.KindControl,
+		Cause:   indexCause([]workItem{item}),
 	}}
 	if payload := c.uploadPayload(item); payload > 0 {
+		dataCause := ledger.Unset // → payload via the data default
+		if !item.isCreate && !c.cfg.FullFileSync {
+			// Incremental data sync ships only the changed byte ranges —
+			// the sim-path equivalent of a delta's literal bytes.
+			dataCause = ledger.DeltaLiteral
+		}
 		ex = append(ex, netem.Exchange{
 			UpApp:   c.expand(payload),
 			DownApp: protocol.EncodedSize(&protocol.Ack{OK: true}),
 			Kind:    capturepkg.KindData,
+			Cause:   dataCause,
 		})
 	}
 	ex = append(ex, netem.Exchange{

@@ -23,7 +23,7 @@ const maxProbeSize = 16 << 20
 // uploadProbe uploads f1 (b1 random bytes) and then f2 = f1 + f1 on a
 // fresh setup, returning the sync traffic of each upload.
 func uploadProbe(n service.Name, a client.AccessMethod, b1, seed int64) (tr1, tr2 int64) {
-	s := service.NewSetup(n, a, service.Options{})
+	s := newSetup(n, a, service.Options{})
 	// Literal content: Algorithm 1 compares a file against its own
 	// self-concatenation, so both must fingerprint through the same
 	// (real MD5) path.
@@ -98,7 +98,7 @@ func algorithm1(n service.Name, a client.AccessMethod, seeds *seedSeq) (blockSiz
 // user or by a second user sharing the cloud — and reports whether the
 // second upload's traffic indicates full-file deduplication.
 func duplicateFileProbe(n service.Name, a client.AccessMethod, crossUser bool, seed int64) bool {
-	s := service.NewSetup(n, a, service.Options{User: "alice"})
+	s := newSetup(n, a, service.Options{User: "alice"})
 	blob := content.Random(1<<20, seed)
 	if err := s.FS.Create("orig.bin", blob); err != nil {
 		panic(err)
@@ -107,7 +107,7 @@ func duplicateFileProbe(n service.Name, a client.AccessMethod, crossUser bool, s
 
 	uploader := s
 	if crossUser {
-		uploader = service.NewSetup(n, a, service.Options{
+		uploader = newSetup(n, a, service.Options{
 			User:    "bob",
 			Cloud:   s.Cloud,
 			Clock:   s.Clock,

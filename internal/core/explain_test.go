@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cloudsync/internal/invariant"
+	"cloudsync/internal/obs/ledger"
+	"cloudsync/internal/parallel"
+)
+
+// TestLedgerNeverChangesTables is the accounting analogue of the
+// tracing contract: attaching the process-wide attribution ledger must
+// leave every experiment table byte-identical. The ledger observes the
+// capture; it must not feed back into it.
+func TestLedgerNeverChangesTables(t *testing.T) {
+	render := func() string {
+		creationSeed.Store(10_000)
+		return RenderTable6(Experiment1(QuickSizes), QuickSizes)
+	}
+	SetLedger(nil)
+	off := render()
+
+	led := &ledger.Ledger{}
+	SetLedger(led)
+	defer SetLedger(nil)
+	on := render()
+
+	if on != off {
+		t.Errorf("Experiment1 table differs with the ledger attached:\n--- off ---\n%s\n--- on ---\n%s", off, on)
+	}
+	if led.Total() == 0 {
+		t.Error("global ledger attached but charged nothing")
+	}
+}
+
+// TestExplainExactSums re-checks the decomposition contract from the
+// outside: every explain cell's causes sum exactly to its traffic.
+// (explainOp already panics on imbalance; this keeps the contract
+// visible even if that panic is ever relaxed.)
+func TestExplainExactSums(t *testing.T) {
+	creationSeed.Store(10_000)
+	res := ExplainAll(true)
+	for name, cells := range map[string][]ExplainCell{
+		"creation": res.Creation, "modification": res.Modification, "faults": res.Faults,
+	} {
+		if len(cells) == 0 {
+			t.Errorf("%s: no cells", name)
+		}
+		for _, c := range cells {
+			if vs := invariant.CheckLedger(c.Traffic, c.Causes); len(vs) != 0 {
+				t.Errorf("%s %s param=%v: %v", name, c.Service, c.Param, vs)
+			}
+			if c.Traffic <= 0 {
+				t.Errorf("%s %s param=%v: no traffic", name, c.Service, c.Param)
+			}
+		}
+	}
+	// The fault section's lossy rows must show what the clean row
+	// cannot: retransmitted bytes.
+	var retrans int64
+	for _, c := range res.Faults {
+		if c.Param > 0 {
+			retrans += c.Causes.Get(ledger.Retransmit)
+		}
+	}
+	if retrans == 0 {
+		t.Error("fault section charged no retransmit bytes at any loss rate")
+	}
+}
+
+// TestExplainDeterministicAcrossWorkers extends the determinism
+// contract to the explain experiment: cell decompositions must be
+// byte-identical no matter how many workers run the grid.
+func TestExplainDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		parallel.SetWorkers(workers)
+		creationSeed.Store(10_000)
+		return RenderExplain(ExplainAll(true))
+	}
+	seq := run(1)
+	par := run(8)
+	parallel.SetWorkers(0)
+	if seq != par {
+		t.Errorf("explain tables differ between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "delta_literal") {
+		t.Errorf("explain render missing cause columns:\n%s", seq)
+	}
+}

@@ -112,7 +112,7 @@ func FaultSweep(lossProbs []float64) []FaultCell {
 	})
 
 	return parallel.Map(tasks, func(_ int, t faultTask) FaultCell {
-		s := service.NewSetup(service.Dropbox, client.PC, service.Options{Link: t.link})
+		s := newSetup(service.Dropbox, client.PC, service.Options{Link: t.link})
 		traffic := faultWorkload(s, t.seed)
 		return FaultCell{
 			Location: t.loc, LossProb: t.prob,

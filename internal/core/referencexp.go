@@ -128,9 +128,9 @@ func ReferenceComparison() []ReferenceCell {
 	tues := parallel.Map(tasks, func(_ int, t task) float64 {
 		var s *service.Setup
 		if t.reference {
-			s = service.NewReferenceSetup(service.Options{})
+			s = newReferenceSetup(service.Options{})
 		} else {
-			s = service.NewSetup(t.n, client.PC, service.Options{})
+			s = newSetup(t.n, client.PC, service.Options{})
 		}
 		traffic, update := t.w.run(s, t.seeds)
 		return TUE(traffic, update)
@@ -173,7 +173,7 @@ func ReferenceASDBound(xs []float64) float64 {
 		seeds[i] = nextSeed()
 	}
 	tues := parallel.Map(xs, func(i int, x float64) float64 {
-		s := service.NewReferenceSetup(service.Options{})
+		s := newReferenceSetup(service.Options{})
 		return TUE(appendWorkload(s, x, AppendTotal, seeds[i]), AppendTotal)
 	})
 	worst := 0.0

@@ -54,7 +54,7 @@ func replayBlob(r trace.Record) *content.Blob {
 // spread between creation and last-modification time. The replay runs
 // a single account on the PC client from Minnesota.
 func TraceReplay(n service.Name, recs []trace.Record, fullScaleFactor float64) ReplayResult {
-	s := service.NewSetup(n, client.PC, service.Options{})
+	s := newSetup(n, client.PC, service.Options{})
 	var update int64
 	epoch := trace.Epoch
 

@@ -126,7 +126,7 @@ func Experiment1Batch() []BatchCreationResult {
 func Experiment2(sizes []int64) []Cell {
 	return parallel.Map(grid(sizes), func(_ int, t gridCell) Cell {
 		blob := content.Random(t.size, t.seed)
-		s := service.NewSetup(t.n, t.a, service.Options{})
+		s := newSetup(t.n, t.a, service.Options{})
 		if err := s.FS.Create("victim.bin", blob); err != nil {
 			panic(err)
 		}
@@ -159,7 +159,7 @@ func Experiment3(sizes []int64) []Cell {
 	}
 	return parallel.Map(grid(kept), func(_ int, t gridCell) Cell {
 		blob := content.Random(t.size, t.seed)
-		s := service.NewSetup(t.n, t.a, service.Options{})
+		s := newSetup(t.n, t.a, service.Options{})
 		if err := s.FS.Create("target.bin", blob); err != nil {
 			panic(err)
 		}
@@ -197,7 +197,7 @@ func Experiment4(size int64) []CompressionCell {
 	seed := nextSeed()
 	return parallel.Map(grid([]int64{size}), func(_ int, t gridCell) CompressionCell {
 		blob := content.Text(t.size, seed)
-		s := service.NewSetup(t.n, t.a, service.Options{})
+		s := newSetup(t.n, t.a, service.Options{})
 		mark := s.Capture.Mark()
 		if err := s.FS.Create("words.txt", blob); err != nil {
 			panic(err)

@@ -14,6 +14,7 @@ import (
 	"cloudsync/internal/client"
 	"cloudsync/internal/content"
 	"cloudsync/internal/obs"
+	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/service"
 )
 
@@ -27,6 +28,36 @@ var tracer atomic.Pointer[obs.Tracer]
 // clock — the measurement tuebench -trace exports. Tracing never
 // affects experiment results; the tables stay byte-identical.
 func SetTracer(tr *obs.Tracer) { tracer.Store(tr) }
+
+// globalLedger is the process-wide traffic-attribution ledger every
+// experiment setup's capture charges into, mirroring the tracer hook:
+// atomic because grids run on the worker pool, nil (the default) a
+// strict no-op.
+var globalLedger atomic.Pointer[ledger.Ledger]
+
+// SetLedger installs (or, with nil, removes) the ledger that receives
+// per-cause byte attribution from every simulated experiment. Like
+// tracing, attribution is passive: the experiment tables stay
+// byte-identical whether or not a ledger is attached (the determinism
+// test asserts this).
+func SetLedger(l *ledger.Ledger) { globalLedger.Store(l) }
+
+// newSetup is the experiments' only constructor for simulated stacks:
+// service.NewSetup plus the process-wide attribution hook. Every
+// experiment cell must build its setup here so that SetLedger observes
+// the whole harness.
+func newSetup(n service.Name, a client.AccessMethod, opts service.Options) *service.Setup {
+	s := service.NewSetup(n, a, opts)
+	s.Capture.SetLedger(globalLedger.Load())
+	return s
+}
+
+// newReferenceSetup mirrors newSetup for the reference-design stack.
+func newReferenceSetup(opts service.Options) *service.Setup {
+	s := service.NewReferenceSetup(opts)
+	s.Capture.SetLedger(globalLedger.Load())
+	return s
+}
 
 // TUE is the paper's Eq. (1): total data sync traffic divided by the
 // data update size. A TUE near 1 means the sync mechanism moved about
@@ -71,7 +102,7 @@ type Cell struct {
 func runOp(n service.Name, a client.AccessMethod, opts service.Options, op func(*service.Setup)) (up, down int64) {
 	sp := tracer.Load().Start("core.cell",
 		obs.String("service", n.String()), obs.String("access", a.String()))
-	s := service.NewSetup(n, a, opts)
+	s := newSetup(n, a, opts)
 	mark := s.Capture.Mark()
 	op(s)
 	s.Clock.Run()

@@ -57,6 +57,44 @@ func (d Delta) Encode() []byte {
 	return buf.Bytes()
 }
 
+// EncodedLiteralBytes reports how many literal data bytes an encoded
+// delta carries, scanning the op stream without decoding or copying —
+// the traffic-attribution ledger uses it to split a DeltaMsg body into
+// delta_literal vs delta_copyref without paying a second decode.
+func EncodedLiteralBytes(data []byte) (int64, error) {
+	const header = 20 // magic + blockSize + targetSize + opCount
+	if len(data) < header || string(data[:4]) != deltaMagic {
+		return 0, fmt.Errorf("delta: bad magic in encoded delta")
+	}
+	n := binary.LittleEndian.Uint32(data[16:header])
+	off := header
+	var lit int64
+	for i := uint32(0); i < n; i++ {
+		if off >= len(data) {
+			return 0, fmt.Errorf("delta: truncated at op %d", i)
+		}
+		tag := data[off]
+		off++
+		switch tag {
+		case opCopyTag:
+			off += 4
+		case opLitTag:
+			if off+4 > len(data) {
+				return 0, fmt.Errorf("delta: truncated literal length at op %d", i)
+			}
+			l := int(binary.LittleEndian.Uint32(data[off : off+4]))
+			off += 4 + l
+			lit += int64(l)
+		default:
+			return 0, fmt.Errorf("delta: op %d has unknown tag %#x", i, tag)
+		}
+	}
+	if off > len(data) {
+		return 0, fmt.Errorf("delta: ops run past the encoding")
+	}
+	return lit, nil
+}
+
 // DecodeDelta parses an encoded delta.
 func DecodeDelta(data []byte) (Delta, error) {
 	r := bytes.NewReader(data)

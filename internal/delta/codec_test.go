@@ -133,3 +133,44 @@ func TestPropertyDecodeRobust(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEncodedLiteralBytes(t *testing.T) {
+	basis := content.Random(50_000, 10).Bytes()
+	target := append([]byte(nil), basis...)
+	target[5000] ^= 0xFF
+	target = append(target, content.Random(900, 11).Bytes()...)
+	d := Compute(Sign(basis, 1024), target)
+	enc := d.Encode()
+
+	got, err := EncodedLiteralBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(d.LiteralBytes()); got != want {
+		t.Fatalf("EncodedLiteralBytes = %d, want %d", got, want)
+	}
+
+	// All-literal and empty deltas.
+	for _, dd := range []Delta{
+		Compute(Sign(nil, 512), content.Random(3000, 12).Bytes()),
+		{BlockSize: 512},
+	} {
+		got, err := EncodedLiteralBytes(dd.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(dd.LiteralBytes()); got != want {
+			t.Fatalf("EncodedLiteralBytes = %d, want %d", got, want)
+		}
+	}
+
+	// Corruption is reported, not mis-counted.
+	if _, err := EncodedLiteralBytes(enc[:10]); err == nil {
+		t.Error("truncated delta should error")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := EncodedLiteralBytes(bad); err == nil {
+		t.Error("bad magic should error")
+	}
+}

@@ -31,6 +31,8 @@ import (
 	"crypto/md5"
 	"fmt"
 	"sort"
+
+	"cloudsync/internal/obs/ledger"
 )
 
 // Violation is one broken invariant.
@@ -229,6 +231,28 @@ func (t *Tracker) Check(server map[string]ServerFile, w Wire) []Violation {
 			report("wire-balance", "%d client bytes unaccounted for (sent %d, received %d, allowed loss %d)",
 				lost, w.ClientSent, w.ServerReceived, w.MaxLost)
 		}
+	}
+	return out
+}
+
+// CheckLedger verifies the traffic-attribution ledger's core accounting
+// contract: the sum over every cause equals the observed total wire
+// byte count exactly, and no cause ever went negative. It is transport
+// agnostic — callers pass whichever wire total their transport can
+// measure exactly (both directions on net.Pipe, the fault scheduler's
+// written count, a capture's TotalBytes, ...).
+func CheckLedger(total int64, snap ledger.Snapshot) []Violation {
+	var out []Violation
+	for _, c := range ledger.Causes() {
+		if n := snap.Get(c); n < 0 {
+			out = append(out, Violation{"ledger-balance",
+				fmt.Sprintf("cause %s is negative: %d", c, n)})
+		}
+	}
+	if got := snap.Total(); got != total {
+		out = append(out, Violation{"ledger-balance",
+			fmt.Sprintf("causes sum to %d bytes but the wire carried %d (delta %+d)",
+				got, total, got-total)})
 	}
 	return out
 }

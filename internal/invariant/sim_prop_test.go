@@ -11,6 +11,7 @@ import (
 	"cloudsync/internal/deferpolicy"
 	"cloudsync/internal/invariant"
 	"cloudsync/internal/netem"
+	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/service"
 )
 
@@ -49,6 +50,8 @@ func runSim(seed uint64, ops []invariant.Op) ([]invariant.Violation, int64) {
 		Link:  faultyLinkForSeed(seed),
 		Defer: deferpolicy.None{},
 	})
+	led := &ledger.Ledger{}
+	s.Capture.SetLedger(led)
 	tr := invariant.NewTracker()
 	server := make(map[string]invariant.ServerFile)
 
@@ -101,7 +104,11 @@ func runSim(seed uint64, ops []invariant.Op) ([]invariant.Violation, int64) {
 	// balance check is vacuous here; the TUE floor is the live one:
 	// even with every retransmission charged, up-traffic must cover
 	// the fresh content at least once.
-	return tr.Check(server, invariant.Wire{ClientSent: up, ServerReceived: up, MaxLost: 0}), up
+	vs := tr.Check(server, invariant.Wire{ClientSent: up, ServerReceived: up, MaxLost: 0})
+	// The attribution ledger must account for every simulated wire byte,
+	// both directions, exactly.
+	vs = append(vs, invariant.CheckLedger(s.Capture.TotalBytes(), led.Snapshot())...)
+	return vs, up
 }
 
 // TestSimInvariants is the simulated half of the acceptance property:

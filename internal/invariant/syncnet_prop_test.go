@@ -8,6 +8,7 @@ import (
 
 	"cloudsync/internal/content"
 	"cloudsync/internal/invariant"
+	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/syncnet"
 )
 
@@ -81,7 +82,9 @@ func toServerFiles(snap map[string]syncnet.FileState) map[string]invariant.Serve
 // net.Pipe is fully synchronous — a Write returns only once the peer
 // consumed the bytes — so the wire balance is checked exactly.
 func runPipe(seed uint64, ops []invariant.Op) []invariant.Violation {
-	srv := syncnet.NewServer(syncnet.ServerConfig{})
+	clientLed := &ledger.Ledger{}
+	serverLed := &ledger.Ledger{}
+	srv := syncnet.NewServer(syncnet.ServerConfig{Ledger: serverLed})
 	sched := syncnet.NewFaultScheduler(planForSeed(seed))
 
 	// The dialer hands out pipe connections and, before redialing,
@@ -111,7 +114,8 @@ func runPipe(seed uint64, ops []invariant.Op) []invariant.Violation {
 		return fail(err)
 	}
 	c, err := syncnet.NewClient(conn, "alice", "prop",
-		syncnet.WithDialer(dial), retryForSeed(seed, func(time.Duration) {}))
+		syncnet.WithDialer(dial), syncnet.WithLedger(clientLed),
+		retryForSeed(seed, func(time.Duration) {}))
 	if err != nil {
 		return fail(err)
 	}
@@ -128,11 +132,17 @@ func runPipe(seed uint64, ops []invariant.Op) []invariant.Violation {
 	<-prevDone // the last handler has drained its reads and stashed
 
 	stats := srv.Stats()
-	return tr.Check(toServerFiles(srv.Snapshot("alice")), invariant.Wire{
+	vs := tr.Check(toServerFiles(srv.Snapshot("alice")), invariant.Wire{
 		ClientSent:     sched.Stats().BytesWritten,
 		ServerReceived: stats.BytesReceived,
 		MaxLost:        0,
 	})
+	// Exact per-byte attribution: each side's ledger must sum to exactly
+	// the bytes that side metered, fault cuts and all.
+	clientIn, clientOut := c.WireTotals()
+	vs = append(vs, invariant.CheckLedger(clientIn+clientOut, clientLed.Snapshot())...)
+	vs = append(vs, invariant.CheckLedger(stats.BytesReceived+stats.BytesSent, serverLed.Snapshot())...)
+	return vs
 }
 
 // reportShrunk re-runs a failing scenario on ever-shorter prefixes and
@@ -171,7 +181,9 @@ func runTCP(seed uint64, ops []invariant.Op) []invariant.Violation {
 	if err != nil {
 		return fail(err)
 	}
-	srv := syncnet.NewServer(syncnet.ServerConfig{})
+	clientLed := &ledger.Ledger{}
+	serverLed := &ledger.Ledger{}
+	srv := syncnet.NewServer(syncnet.ServerConfig{Ledger: serverLed})
 	go srv.Serve(l)
 	defer srv.Close()
 
@@ -189,7 +201,8 @@ func runTCP(seed uint64, ops []invariant.Op) []invariant.Violation {
 	if err != nil {
 		return fail(err)
 	}
-	c, err := syncnet.NewClient(conn, "alice", "prop", syncnet.WithDialer(dial), retryForSeed(seed, nil))
+	c, err := syncnet.NewClient(conn, "alice", "prop",
+		syncnet.WithDialer(dial), syncnet.WithLedger(clientLed), retryForSeed(seed, nil))
 	if err != nil {
 		return fail(err)
 	}
@@ -205,11 +218,18 @@ func runTCP(seed uint64, ops []invariant.Op) []invariant.Violation {
 	srv.Close() // waits for every handler, so the counters are final
 
 	stats := srv.Stats()
-	return tr.Check(toServerFiles(srv.Snapshot("alice")), invariant.Wire{
+	vs := tr.Check(toServerFiles(srv.Snapshot("alice")), invariant.Wire{
 		ClientSent:     sched.Stats().BytesWritten,
 		ServerReceived: stats.BytesReceived,
 		MaxLost:        -1,
 	})
+	// The wire balance degrades to a sign check on TCP, but the ledger
+	// contract stays exact: each side charges against its own metered
+	// bytes, and kernel buffering cannot desynchronize a side from itself.
+	clientIn, clientOut := c.WireTotals()
+	vs = append(vs, invariant.CheckLedger(clientIn+clientOut, clientLed.Snapshot())...)
+	vs = append(vs, invariant.CheckLedger(stats.BytesReceived+stats.BytesSent, serverLed.Snapshot())...)
+	return vs
 }
 
 // TestSyncnetTCPInvariants runs a smaller band of seeds over real TCP

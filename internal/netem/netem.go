@@ -16,6 +16,7 @@ import (
 
 	"cloudsync/internal/capture"
 	"cloudsync/internal/obs"
+	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/simclock"
 	"cloudsync/internal/wire"
 )
@@ -85,6 +86,10 @@ type Exchange struct {
 	// ExtraRTTs adds protocol round trips beyond the one implied by the
 	// request/response itself (e.g. a commit-then-ack step).
 	ExtraRTTs int
+	// Cause attributes the exchange's payload bytes when the capture has
+	// a ledger attached. ledger.Unset derives the cause from Kind;
+	// loss-triggered retry attempts override it with ledger.Retransmit.
+	Cause ledger.Cause
 }
 
 // Path binds a link, a connection, and the clock into the unit the sync
@@ -224,7 +229,14 @@ func (p *Path) exchange(at time.Duration, ex Exchange) time.Duration {
 		attempts = st.lossAttempts()
 	}
 	for i := 0; i < attempts; i++ {
-		up, down := p.conn.Request(at, ex.UpApp, ex.DownApp, ex.Kind)
+		cause := ex.Cause
+		if i > 0 {
+			// Every attempt after the first puts the same bytes on the
+			// wire again: charge them to retransmit, whatever the
+			// payload's own cause was.
+			cause = ledger.Retransmit
+		}
+		up, down := p.conn.RequestCause(at, ex.UpApp, ex.DownApp, ex.Kind, cause)
 		at += p.link.RTT // request/response latency
 		at += p.link.UpTime(up) + p.link.DownTime(down)
 		if i < attempts-1 {

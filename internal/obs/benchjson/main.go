@@ -5,14 +5,20 @@
 // pair. make bench-obs pipes the obs and syncnet benchmarks through it
 // into BENCH_obs.json.
 //
+// With -raw, pairing is skipped and every benchmark result on stdin is
+// emitted as-is — the mode make bench-core uses to record the core
+// experiment-table baseline into BENCH_core.json.
+//
 // Usage:
 //
 //	go test -bench 'ObsO(ff|n)$' -benchmem ./... | go run ./internal/obs/benchjson > BENCH_obs.json
+//	go test -bench . -benchmem -benchtime 1x . | go run ./internal/obs/benchjson -raw > BENCH_core.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -41,6 +47,19 @@ type pair struct {
 type report struct {
 	Note  string `json:"note"`
 	Pairs []pair `json:"pairs"`
+}
+
+// rawEntry is one benchmark result in -raw mode: no Off/On pairing,
+// just the measured figures under the benchmark's own name.
+type rawEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type rawReport struct {
+	Note       string     `json:"note"`
+	Benchmarks []rawEntry `json:"benchmarks"`
 }
 
 // parseLine extracts a benchmark result from one `go test -bench`
@@ -73,6 +92,10 @@ func parseLine(line string) (name string, r result, ok bool) {
 }
 
 func main() {
+	raw := flag.Bool("raw", false,
+		"emit every benchmark result as-is instead of pairing <Base>Off/<Base>On")
+	flag.Parse()
+
 	results := map[string]result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -84,6 +107,11 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *raw {
+		emitRaw(results)
+		return
 	}
 
 	rep := report{Note: "observability overhead: <Base>Off = nil tracer/registry, <Base>On = instrumented"}
@@ -111,6 +139,31 @@ func main() {
 	}
 	sort.Slice(rep.Pairs, func(i, j int) bool { return rep.Pairs[i].Name < rep.Pairs[j].Name })
 
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// emitRaw writes every parsed benchmark, sorted by name. Wall-clock
+// figures are machine-dependent; the baseline's value is the allocation
+// counts and the relative shape, not absolute nanoseconds.
+func emitRaw(results map[string]result) {
+	rep := rawReport{Note: "core experiment-table baseline (-benchtime 1x; ns/op is machine-dependent, compare shapes not absolutes)"}
+	for name, r := range results {
+		rep.Benchmarks = append(rep.Benchmarks, rawEntry{
+			Name:        name,
+			NsPerOp:     r.nsPerOp,
+			AllocsPerOp: r.allocsPerOp,
+		})
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

@@ -38,20 +38,47 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
+// HTTPServer is a running observability endpoint: the http.Server, its
+// bound address, and the serve goroutine's completion signal. It
+// implements io.Closer, so a syncnet.Server can adopt it via
+// AttachCloser and tear it down as part of its own Close.
+type HTTPServer struct {
+	srv  *http.Server
+	addr net.Addr
+	done chan struct{}
+}
+
 // ListenAndServe starts the observability endpoint on addr in a
-// background goroutine and returns the bound address (useful with
-// ":0") and the server for shutdown. Serve errors after a clean
+// background goroutine. The returned handle exposes the bound address
+// (useful with ":0") and a graceful Close. Serve errors after a clean
 // Close are discarded; others are logged.
-func ListenAndServe(addr string, r *Registry) (net.Addr, *http.Server, error) {
+func ListenAndServe(addr string, r *Registry) (*HTTPServer, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	h := &HTTPServer{
+		srv:  &http.Server{Handler: r.Handler()},
+		addr: l.Addr(),
+		done: make(chan struct{}),
+	}
 	go func() {
-		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
-			log.Printf("obs: serving %s: %v", l.Addr(), err)
+		defer close(h.done)
+		if err := h.srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Printf("obs: serving %s: %v", h.addr, err)
 		}
 	}()
-	return l.Addr(), srv, nil
+	return h, nil
+}
+
+// Addr is the listener's bound address.
+func (h *HTTPServer) Addr() net.Addr { return h.addr }
+
+// Close shuts the listener and every open connection down and waits for
+// the serve goroutine to exit, so callers observe no goroutine leak
+// after Close returns. Safe to call more than once.
+func (h *HTTPServer) Close() error {
+	err := h.srv.Close()
+	<-h.done
+	return err
 }

@@ -4,8 +4,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
@@ -57,12 +59,11 @@ func TestHandlerEndpoints(t *testing.T) {
 func TestListenAndServe(t *testing.T) {
 	r := NewRegistry()
 	r.Gauge("up", "1 while serving.").Set(1)
-	addr, srv, err := ListenAndServe("127.0.0.1:0", r)
+	srv, err := ListenAndServe("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
-	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	resp, err := http.Get("http://" + srv.Addr().String() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,5 +71,37 @@ func TestListenAndServe(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "up 1") {
 		t.Fatalf("metrics over ListenAndServe missing gauge:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close is graceful: the port is released and re-bindable, a second
+	// Close is a no-op, and the serve goroutine is gone.
+	if _, err := http.Get("http://" + srv.Addr().String() + "/metrics"); err == nil {
+		t.Fatal("endpoint still answering after Close")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	assertNoServeGoroutine(t)
+}
+
+// assertNoServeGoroutine fails if any obs serve goroutine survives
+// Close — the stdlib-only goroutine-leak check. http.Get's keep-alive
+// transport goroutines are not obs's to clean up, so only frames inside
+// this package's ListenAndServe count as leaks.
+func assertNoServeGoroutine(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		buf := make([]byte, 1<<20)
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		if !strings.Contains(stacks, "obs.ListenAndServe.func") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("obs serve goroutine still running after Close:\n%s", stacks)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

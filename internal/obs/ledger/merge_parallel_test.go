@@ -1,0 +1,78 @@
+package ledger
+
+import (
+	"testing"
+
+	"cloudsync/internal/parallel"
+)
+
+// cellSnapshot builds a deterministic fake per-cell breakdown, the way
+// an experiment grid produces one ledger snapshot per cell.
+func cellSnapshot(i int) Snapshot {
+	var s Snapshot
+	causes := Causes()
+	for j, c := range causes {
+		s[c] = int64((i+1)*1000 + j*7 + (i*j)%13)
+	}
+	return s
+}
+
+// mergeVia runs the merge under the worker pool with n workers, both
+// through the concurrent MergeSnapshot path and through a sequential
+// snapshot fold, and returns the shared-ledger result.
+func mergeVia(t *testing.T, workers, cells int) Snapshot {
+	t.Helper()
+	old := parallel.Workers()
+	parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(old)
+
+	shared := New()
+	snaps := parallel.Map(make([]struct{}, cells), func(i int, _ struct{}) Snapshot {
+		s := cellSnapshot(i)
+		shared.MergeSnapshot(s) // concurrent merge from pool workers
+		return s
+	})
+
+	// Sequential fold over the pool's (order-preserving) results must
+	// agree with the concurrent merge: addition is associative and
+	// commutative, so interleaving cannot matter.
+	var folded Snapshot
+	for _, s := range snaps {
+		folded = folded.Merge(s)
+	}
+	got := shared.Snapshot()
+	if got != folded {
+		t.Fatalf("workers=%d: concurrent merge %v != sequential fold %v", workers, got, folded)
+	}
+	return got
+}
+
+// TestMergeDeterministicAcrossWorkers is the satellite check: merging
+// per-cell ledgers through the internal/parallel pool yields the same
+// totals for every -workers setting, and the concurrent MergeSnapshot
+// path agrees with a sequential Snapshot.Merge fold.
+func TestMergeDeterministicAcrossWorkers(t *testing.T) {
+	const cells = 64
+	want := mergeVia(t, 1, cells)
+	if want.Total() == 0 {
+		t.Fatal("test fixture produced an empty merge")
+	}
+	for _, w := range []int{2, 4, 8, 16} {
+		if got := mergeVia(t, w, cells); got != want {
+			t.Errorf("workers=%d: merge %v != workers=1 merge %v", w, got, want)
+		}
+	}
+}
+
+// TestMergeSnapshotConcurrent hammers one ledger from the pool without
+// a comparison fold, to give the race detector a clean target.
+func TestMergeSnapshotConcurrent(t *testing.T) {
+	l := New()
+	parallel.Do(128, func(i int) {
+		l.MergeSnapshot(cellSnapshot(i))
+		l.Add(Framing, 1)
+	})
+	if got := l.Get(Framing); got < 128 {
+		t.Fatalf("Framing = %d, want >= 128", got)
+	}
+}

@@ -172,3 +172,57 @@ func TestWritePrometheusGolden(t *testing.T) {
 		t.Fatalf("prometheus text drifted.\n--- got ---\n%s--- want ---\n%s", got, b.String())
 	}
 }
+
+// TestHistogramEdgeRendering covers the exposition's edge cases: a
+// histogram with zero observations must still render every cumulative
+// bucket (all zero), an observation on an exact power-of-two boundary
+// must be counted ≤ that bound (le is inclusive), and a value above the
+// top finite bucket must appear only in +Inf.
+func TestHistogramEdgeRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_h", "No observations.")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`empty_h_bucket{le="1"} 0`,
+		`empty_h_bucket{le="1099511627776"} 0`, // 2^40, top finite bucket
+		`empty_h_bucket{le="+Inf"} 0`,
+		"empty_h_sum 0",
+		"empty_h_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zero-observation render missing %q:\n%s", want, out)
+		}
+	}
+
+	h := r.Histogram("edge_h", "Boundary cases.")
+	h.Observe(1 << 20)   // exact boundary: belongs to le="1048576"
+	h.Observe(1<<40 + 1) // above the top finite bucket: +Inf only
+	h.Observe(math.MaxInt64 - 1)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{
+		`edge_h_bucket{le="524288"} 0`,        // 2^19: boundary not rounded down
+		`edge_h_bucket{le="1048576"} 1`,       // 2^20 inclusive
+		`edge_h_bucket{le="1099511627776"} 1`, // 2^40 cumulative: only the 2^20 obs
+		`edge_h_bucket{le="+Inf"} 3`,
+		"edge_h_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("edge render missing %q:\n%s", want, out)
+		}
+	}
+	var wantSum int64 // wraps; atomic adds wrap identically
+	for _, v := range []int64{1 << 20, 1<<40 + 1, math.MaxInt64 - 1} {
+		wantSum += v
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("edge sum = %d, want %d (int64 wrap is expected arithmetic, not a render bug)", got, wantSum)
+	}
+}

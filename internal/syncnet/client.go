@@ -8,6 +8,7 @@ import (
 	"cloudsync/internal/comp"
 	"cloudsync/internal/delta"
 	"cloudsync/internal/obs"
+	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/protocol"
 )
 
@@ -51,11 +52,22 @@ type Client struct {
 	op              *obs.Span // span of the operation currently in flight
 	att             *obs.Span // span of the current retry attempt, if any
 	wireIn, wireOut int64
+
+	// ledger, when set via WithLedger, attributes every metered wire
+	// byte (both directions) to a cause. charged tracks how much this
+	// client has attributed so Close can sweep the residual — partial
+	// frames around a connection cut — into framing, keeping
+	// ledger-total == wireIn+wireOut exact.
+	ledger  *ledger.Ledger
+	charged int64
+	attempt int   // current retry attempt (1-based; 0 during Hello)
+	txHigh  int64 // highest payload offset sent this operation
+	rxHigh  int64 // highest payload offset received this operation
 }
 
 // WireTotals reports the bytes this client has read from and written to
-// its connection(s), across reconnects. Metering requires WithTracer;
-// without it both totals stay zero.
+// its connection(s), across reconnects. Metering requires WithTracer or
+// WithLedger; without either both totals stay zero.
 func (c *Client) WireTotals() (in, out int64) { return c.wireIn, c.wireOut }
 
 // meterConn counts a traced client's wire bytes in both directions.
@@ -122,6 +134,14 @@ func WithTracer(tr *obs.Tracer) ClientOption {
 	return func(c *Client) { c.tracer = tr }
 }
 
+// WithLedger attributes every wire byte the client sends or receives to
+// a traffic cause on l (and enables wire metering, like WithTracer).
+// The sum over all causes equals WireTotals' in+out exactly once the
+// client is closed; a nil l leaves the client uninstrumented.
+func WithLedger(l *ledger.Ledger) ClientOption {
+	return func(c *Client) { c.ledger = l }
+}
+
 // NewClient starts a session on an established connection. It sends
 // the Hello immediately.
 func NewClient(conn net.Conn, user, device string, opts ...ClientOption) (*Client, error) {
@@ -139,10 +159,10 @@ func NewClient(conn net.Conn, user, device string, opts ...ClientOption) (*Clien
 		opt(c)
 	}
 	c.jitterRNG = newJitterRNG(c.retry.Seed)
-	if c.tracer != nil {
+	if c.tracer != nil || c.ledger != nil {
 		c.conn = &meterConn{Conn: conn, in: &c.wireIn, out: &c.wireOut}
 	}
-	if err := send(c.conn, &protocol.Hello{User: user, Device: device, Version: "cloudsync/1"}); err != nil {
+	if err := c.send(&protocol.Hello{User: user, Device: device, Version: "cloudsync/1"}); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -165,14 +185,73 @@ func Dial(network, addr, user, device string, opts ...ClientOption) (*Client, er
 	return c, nil
 }
 
-// Close ends the session.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close ends the session. With a ledger attached it also sweeps the
+// residual — metered bytes that never formed a complete message, such
+// as partial frames around a connection cut — into framing, after
+// which the ledger total equals the wire total exactly.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	if c.ledger != nil {
+		if resid := c.wireIn + c.wireOut - c.charged; resid > 0 {
+			c.ledger.Add(ledger.Framing, resid)
+			c.charged += resid
+		}
+	}
+	return err
+}
+
+// send encodes and writes one message on the session connection,
+// charging the bytes actually written to the ledger.
+func (c *Client) send(m protocol.Message) error { return c.sendOn(c.conn, m) }
+
+func (c *Client) sendOn(conn net.Conn, m protocol.Message) error {
+	enc := protocol.Encode(m)
+	n, err := conn.Write(enc)
+	c.chargeWrite(m, int64(len(enc)), int64(n))
+	if err != nil {
+		return fmt.Errorf("syncnet: sending %v: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// chargeWrite attributes the n bytes a write put on the wire. Data
+// pieces split against the operation's sent high-water mark (re-sent
+// ranges are retransmits); any other message re-sent on a retry attempt
+// is a retransmit wholesale.
+func (c *Client) chargeWrite(m protocol.Message, total, n int64) {
+	if c.ledger == nil {
+		return
+	}
+	segs := messageSegments(m, total)
+	if d, ok := m.(*protocol.Data); ok {
+		segs = splitDataByHighWater(segs, d, &c.txHigh)
+	} else if c.attempt > 1 {
+		segs = retagRetransmit(segs)
+	}
+	c.charged += chargeSegs(c.ledger, segs, n)
+}
+
+// chargeRead attributes one fully read message's wire bytes. Download
+// pieces split against the received high-water mark, so content
+// re-fetched after a mid-download reconnect shows up as retransmit.
+func (c *Client) chargeRead(m protocol.Message, consumed int64) {
+	if c.ledger == nil {
+		return
+	}
+	segs := messageSegments(m, consumed)
+	if d, ok := m.(*protocol.Data); ok {
+		segs = splitDataByHighWater(segs, d, &c.rxHigh)
+	}
+	c.charged += chargeSegs(c.ledger, segs, consumed)
+}
 
 func (c *Client) read() (protocol.Message, error) {
+	in0 := c.wireIn
 	m, err := protocol.ReadMessage(c.conn)
 	if err != nil {
 		return nil, fmt.Errorf("syncnet: reading reply: %w", err)
 	}
+	c.chargeRead(m, c.wireIn-in0)
 	if e, ok := m.(*protocol.Error); ok {
 		return nil, e
 	}
@@ -271,7 +350,7 @@ func (c *Client) fullUpload(name string, data []byte, attempt int) (UploadStats,
 	}
 
 	if resumeAt == 0 {
-		if err := send(c.conn, &protocol.IndexUpdate{
+		if err := c.send(&protocol.IndexUpdate{
 			FileID: c.ids[name], Name: name, Size: int64(len(data)), FileHash: hash,
 		}); err != nil {
 			return stats, err
@@ -296,14 +375,14 @@ func (c *Client) fullUpload(name string, data []byte, attempt int) (UploadStats,
 			if end > len(payload) {
 				end = len(payload)
 			}
-			if err := send(c.conn, &protocol.Data{
+			if err := c.send(&protocol.Data{
 				FileID: fileID, Offset: int64(off), Payload: payload[off:end],
 			}); err != nil {
 				return stats, err
 			}
 		}
 	}
-	if err := send(c.conn, &protocol.Commit{FileID: fileID}); err != nil {
+	if err := c.send(&protocol.Commit{FileID: fileID}); err != nil {
 		return stats, err
 	}
 	ack, err := c.readAck()
@@ -320,7 +399,7 @@ func (c *Client) fullUpload(name string, data []byte, attempt int) (UploadStats,
 func (c *Client) resumeQuery(name string, size int64, hash protocol.Fingerprint) (*protocol.ResumeInfo, error) {
 	sp := c.parent().Child("client.resume_query", obs.String("name", name))
 	defer sp.End()
-	if err := send(c.conn, &protocol.ResumeQuery{Name: name, Size: size, FileHash: hash}); err != nil {
+	if err := c.send(&protocol.ResumeQuery{Name: name, Size: size, FileHash: hash}); err != nil {
 		return nil, err
 	}
 	m, err := c.read()
@@ -340,7 +419,7 @@ func (c *Client) deltaUpload(name string, data []byte) (UploadStats, error) {
 	defer sp.End()
 	var stats UploadStats
 	defer func() { sp.Set("payload_bytes", stats.PayloadBytes) }()
-	if err := send(c.conn, &protocol.SigRequest{Name: name, BlockSize: uint32(c.blockSize)}); err != nil {
+	if err := c.send(&protocol.SigRequest{Name: name, BlockSize: uint32(c.blockSize)}); err != nil {
 		return stats, err
 	}
 	m, err := c.read()
@@ -358,7 +437,7 @@ func (c *Client) deltaUpload(name string, data []byte) (UploadStats, error) {
 	}
 	d := delta.Compute(sig, data)
 	payload := d.Encode()
-	if err := send(c.conn, &protocol.DeltaMsg{Name: name, Payload: payload}); err != nil {
+	if err := c.send(&protocol.DeltaMsg{Name: name, Payload: payload}); err != nil {
 		return stats, err
 	}
 	ack, err := c.readAck()
@@ -404,7 +483,7 @@ func (c *Client) Download(name string) ([]byte, error) {
 }
 
 func (c *Client) downloadOnce(name string) ([]byte, error) {
-	if err := send(c.conn, &protocol.Get{Name: name}); err != nil {
+	if err := c.send(&protocol.Get{Name: name}); err != nil {
 		return nil, err
 	}
 	m, err := c.read()
@@ -456,7 +535,7 @@ func (c *Client) Delete(name string) error {
 	c.op = c.tracer.Start("client.delete", obs.String("name", name))
 	in0, out0 := c.wireIn, c.wireOut
 	err := c.withRetry(func(attempt int) error {
-		if err := send(c.conn, &protocol.Delete{FileID: id}); err != nil {
+		if err := c.send(&protocol.Delete{FileID: id}); err != nil {
 			return err
 		}
 		_, err := c.readAck()

@@ -82,10 +82,10 @@ func (c *Client) reconnect(attempt int) error {
 	if err != nil {
 		return fmt.Errorf("syncnet: reconnect: %w", err)
 	}
-	if c.tracer != nil {
+	if c.tracer != nil || c.ledger != nil {
 		conn = &meterConn{Conn: conn, in: &c.wireIn, out: &c.wireOut}
 	}
-	if err := send(conn, &protocol.Hello{User: c.user, Device: c.device, Version: "cloudsync/1"}); err != nil {
+	if err := c.sendOn(conn, &protocol.Hello{User: c.user, Device: c.device, Version: "cloudsync/1"}); err != nil {
 		conn.Close()
 		return err
 	}
@@ -103,8 +103,13 @@ func (c *Client) withRetry(op func(attempt int) error) error {
 	if attempts < 1 || c.dialer == nil {
 		attempts = 1
 	}
+	// Fresh per-operation ledger state: payload high-water marks track
+	// what this operation has already put on (or pulled off) the wire,
+	// so only genuine re-sends are charged as retransmits.
+	c.txHigh, c.rxHigh = 0, 0
 	var err error
 	for attempt := 1; attempt <= attempts; attempt++ {
+		c.attempt = attempt // lets the ledger tag re-sent bytes as retransmits
 		c.att = c.op.Child("client.attempt", obs.Int("attempt", int64(attempt)))
 		if attempt > 1 {
 			if rerr := c.reconnect(attempt); rerr != nil {

@@ -1,0 +1,159 @@
+package syncnet
+
+import (
+	"crypto/md5"
+
+	"cloudsync/internal/delta"
+	"cloudsync/internal/obs/ledger"
+	"cloudsync/internal/protocol"
+)
+
+// This file is the live path's per-byte traffic attribution: it lays
+// every encoded protocol message out as an ordered list of
+// (cause, length) segments and charges them against the bytes that
+// actually crossed the connection. Charging by the measured byte count
+// — not by the message's encoded size — is what keeps the ledger total
+// exactly equal to the wire total even when a fault scheduler cuts the
+// connection mid-write: the clipped tail is simply never charged, and
+// the session's residual (bytes metered but never attributed, e.g.
+// partial frames on either side of a cut) is swept into framing when
+// the session ends.
+
+// frameHeaderSize is the per-message envelope: 1 type byte + uint32
+// body length.
+const frameHeaderSize = 5
+
+// causeSeg is one contiguous run of wire bytes with a single cause.
+type causeSeg struct {
+	cause ledger.Cause
+	n     int64
+}
+
+// messageSegments lays out one encoded message (total bytes including
+// the frame header) as attribution segments, by message semantics:
+//
+//	frame header                 → framing
+//	Data: fileID/offset/len      → framing; payload → payload
+//	IndexUpdate: fingerprints    → dedup_probe; rest → metadata
+//	SignatureMsg body            → dedup_probe (block fingerprints)
+//	DeltaMsg: literal op data    → delta_literal; rest → delta_copyref
+//	ResumeQuery / ResumeInfo     → resume
+//	everything else              → metadata
+//
+// Segment order approximates wire order; when a write is cut short the
+// clipping is therefore approximately positional, and always exact in
+// total.
+func messageSegments(m protocol.Message, total int64) []causeSeg {
+	segs := []causeSeg{{ledger.Framing, frameHeaderSize}}
+	body := total - frameHeaderSize
+	if body < 0 {
+		return []causeSeg{{ledger.Framing, total}}
+	}
+	switch v := m.(type) {
+	case *protocol.Data:
+		prefix := body - int64(len(v.Payload)) // fileID + offset + length
+		segs = append(segs, causeSeg{ledger.Framing, prefix}, causeSeg{ledger.Payload, int64(len(v.Payload))})
+	case *protocol.IndexUpdate:
+		probe := int64(md5.Size) * int64(1+len(v.BlockHashes))
+		if probe > body {
+			probe = body
+		}
+		segs = append(segs, causeSeg{ledger.Metadata, body - probe}, causeSeg{ledger.DedupProbe, probe})
+	case *protocol.SignatureMsg:
+		segs = append(segs, causeSeg{ledger.DedupProbe, body})
+	case *protocol.DeltaMsg:
+		lit, err := delta.EncodedLiteralBytes(v.Payload)
+		if err != nil || lit > int64(len(v.Payload)) {
+			lit = 0
+		}
+		segs = append(segs,
+			causeSeg{ledger.DeltaCopyRef, body - lit},
+			causeSeg{ledger.DeltaLiteral, lit})
+	case *protocol.ResumeQuery, *protocol.ResumeInfo:
+		segs = append(segs, causeSeg{ledger.Resume, body})
+	default:
+		segs = append(segs, causeSeg{ledger.Metadata, body})
+	}
+	return segs
+}
+
+// chargeSegs charges the first n wire bytes of the segment layout and
+// reports how many bytes it charged (always exactly min(n, Σsegs) plus
+// any overrun, i.e. exactly n for n ≥ 0). Bytes beyond the layout —
+// which cannot happen for a correctly sized layout — land in framing
+// so the exact-total contract survives even an accounting bug.
+func chargeSegs(l *ledger.Ledger, segs []causeSeg, n int64) int64 {
+	if l == nil || n <= 0 {
+		return 0
+	}
+	charged := int64(0)
+	for _, s := range segs {
+		if n <= 0 {
+			break
+		}
+		take := s.n
+		if take > n {
+			take = n
+		}
+		l.Add(s.cause, take)
+		charged += take
+		n -= take
+	}
+	if n > 0 {
+		l.Add(ledger.Framing, n)
+		charged += n
+	}
+	return charged
+}
+
+// retagRetransmit rewrites a re-sent message's payload-bearing causes
+// to retransmit: the bytes are on the wire a second time. Framing stays
+// framing (the envelope is overhead either way) and resume traffic
+// stays resume (it exists only because of the retry and is never a
+// duplicate of earlier bytes).
+func retagRetransmit(segs []causeSeg) []causeSeg {
+	for i := range segs {
+		switch segs[i].cause {
+		case ledger.Framing, ledger.Resume:
+		default:
+			segs[i].cause = ledger.Retransmit
+		}
+	}
+	return segs
+}
+
+// splitDataByHighWater replaces the payload segment of a Data message
+// with a retransmit/payload split against the operation's high-water
+// mark (the highest payload offset already sent or received this
+// operation), and advances the mark. Fresh bytes stay payload; bytes at
+// offsets covered before are retransmits.
+func splitDataByHighWater(segs []causeSeg, d *protocol.Data, high *int64) []causeSeg {
+	lo := d.Offset
+	hi := lo + int64(len(d.Payload))
+	resent := *high - lo
+	if resent < 0 {
+		resent = 0
+	}
+	if resent > hi-lo {
+		resent = hi - lo
+	}
+	if hi > *high {
+		*high = hi
+	}
+	if resent == 0 {
+		return segs
+	}
+	out := segs[:0]
+	for _, s := range segs {
+		if s.cause != ledger.Payload {
+			out = append(out, s)
+			continue
+		}
+		// The piece starts at lo: its first `resent` bytes were sent
+		// before, the rest are new.
+		out = append(out,
+			causeSeg{ledger.Retransmit, resent},
+			causeSeg{ledger.Payload, s.n - resent})
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package syncnet
 
 import (
 	"io"
+	"sync/atomic"
 
 	"cloudsync/internal/obs"
 )
@@ -56,16 +57,19 @@ func newServerObs(reg *obs.Registry) serverObs {
 }
 
 // countingWriter mirrors countingReader for the send direction: it
-// tallies bytes into the per-session counter and the live metric.
+// tallies bytes into the per-session counter, the server-wide atomic,
+// and the live metric.
 type countingWriter struct {
-	w    io.Writer
-	n    *int64
-	obsC *obs.Counter
+	w     io.Writer
+	n     *int64
+	total *atomic.Int64
+	obsC  *obs.Counter
 }
 
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	*cw.n += int64(n)
+	cw.total.Add(int64(n))
 	cw.obsC.Add(int64(n))
 	return n, err
 }

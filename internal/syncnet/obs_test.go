@@ -3,6 +3,8 @@ package syncnet
 import (
 	"bytes"
 	"net"
+	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -264,5 +266,43 @@ func TestObsUntracedClientCountsNothing(t *testing.T) {
 	c.Close()
 	if err := <-done; err != nil {
 		t.Fatalf("HandleConn: %v", err)
+	}
+}
+
+// TestCloseTearsDownAttachedObsEndpoint covers syncd's shutdown path:
+// an obs HTTP endpoint adopted via AttachCloser must stop answering —
+// and its serve goroutine must exit — once the sync server closes.
+func TestCloseTearsDownAttachedObsEndpoint(t *testing.T) {
+	leakCheck(t)
+	reg := obs.NewRegistry()
+	hs, err := obs.ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{Metrics: reg})
+	srv.AttachCloser(hs)
+
+	resp, err := http.Get("http://" + hs.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatalf("obs endpoint not serving: %v", err)
+	}
+	resp.Body.Close()
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + hs.Addr().String() + "/healthz"); err == nil {
+		t.Fatal("obs endpoint still answering after the sync server closed")
+	}
+	// A second server close must not re-close the endpoint (closers are
+	// drained on first Close; obs Close is idempotent anyway).
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// leakCheck only watches syncnet frames; the obs serve goroutine
+	// needs its own check (Close waits for it, so no retry loop needed).
+	buf := make([]byte, 1<<20)
+	if stacks := string(buf[:runtime.Stack(buf, true)]); strings.Contains(stacks, "obs.ListenAndServe.func") {
+		t.Fatalf("obs serve goroutine outlived the sync server:\n%s", stacks)
 	}
 }

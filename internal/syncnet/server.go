@@ -28,6 +28,7 @@ import (
 	"cloudsync/internal/dedup"
 	"cloudsync/internal/delta"
 	"cloudsync/internal/obs"
+	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/protocol"
 )
 
@@ -63,6 +64,11 @@ type ServerConfig struct {
 	// Tracer, when set, records one span per client session with one
 	// child span per handled request. Nil disables tracing at no cost.
 	Tracer *obs.Tracer
+	// Ledger, when set, attributes every wire byte read from or written
+	// to client connections to a traffic cause; its total equals
+	// BytesReceived+BytesSent exactly once sessions have ended. Nil
+	// disables attribution at no cost.
+	Ledger *ledger.Ledger
 }
 
 type serverFile struct {
@@ -90,6 +96,10 @@ type ServerStats struct {
 	// BytesReceived is the total bytes read off all client connections
 	// (the server-side view of the wire, for traffic-balance checks).
 	BytesReceived int64
+	// BytesSent is the total bytes written to all client connections —
+	// the other half of the wire view, so ledger attribution can be
+	// balanced against the full server-side wire total.
+	BytesSent int64
 }
 
 // pendingKey identifies a stashed partial upload: the same identity a
@@ -124,6 +134,12 @@ type Server struct {
 
 	handlers      sync.WaitGroup // serve loops + connection handlers
 	bytesReceived atomic.Int64
+	bytesSent     atomic.Int64
+
+	// closers are torn down by Close after the handlers drain —
+	// auxiliary lifecycles (like the obs HTTP endpoint) tied to the
+	// server's.
+	closers []io.Closer
 
 	om serverObs
 }
@@ -154,8 +170,18 @@ func (s *Server) Stats() ServerStats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.BytesReceived = s.bytesReceived.Load()
+	st.BytesSent = s.bytesSent.Load()
 	st.PendingResumable = len(s.pending)
 	return st
+}
+
+// AttachCloser registers a closer that Close tears down after every
+// serve loop and connection handler has returned. syncd uses it to tie
+// the observability HTTP endpoint's shutdown to the server's.
+func (s *Server) AttachCloser(c io.Closer) {
+	s.mu.Lock()
+	s.closers = append(s.closers, c)
+	s.mu.Unlock()
 }
 
 // Close shuts the server down deterministically: it closes every
@@ -181,7 +207,15 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.handlers.Wait()
-	return nil
+	s.mu.Lock()
+	closers := s.closers
+	s.closers = nil
+	s.mu.Unlock()
+	var err error
+	for _, c := range closers {
+		err = errors.Join(err, c.Close())
+	}
+	return err
 }
 
 // Serve accepts connections until the listener fails or the server is
@@ -280,15 +314,19 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	defer conn.Close()
 	sess := &session{srv: s, conn: conn}
 	r := &countingReader{r: conn, n: &s.bytesReceived, sess: &sess.wireIn, obsC: s.om.bytesIn}
-	sess.w = &countingWriter{w: conn, n: &sess.wireOut, obsC: s.om.bytesOut}
+	sess.w = &countingWriter{w: conn, n: &sess.wireOut, total: &s.bytesSent, obsC: s.om.bytesOut}
+	// Runs last: once every other defer has finished touching the wire,
+	// sweep the session's unattributed bytes into the ledger.
+	defer sess.settle()
 
 	first, err := protocol.ReadMessage(r)
 	if err != nil {
 		return fmt.Errorf("syncnet: reading hello: %w", err)
 	}
+	sess.chargeRead(first, sess.wireIn)
 	hello, ok := first.(*protocol.Hello)
 	if !ok {
-		sendErr(sess.w, protocol.ErrBadRequest, "expected hello")
+		sess.sendErr(protocol.ErrBadRequest, "expected hello")
 		return fmt.Errorf("syncnet: first message was %v", first.Type())
 	}
 	sess.user = hello.User
@@ -298,6 +336,7 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	defer sess.stash()
 	s.logf("session start user=%s device=%s", hello.User, hello.Device)
 	for {
+		in0 := sess.wireIn
 		msg, err := protocol.ReadMessage(r)
 		if err == io.EOF {
 			return nil
@@ -305,6 +344,7 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		if err != nil {
 			return fmt.Errorf("syncnet: reading message: %w", err)
 		}
+		sess.chargeRead(msg, sess.wireIn-in0)
 		if err := sess.dispatch(msg); err != nil {
 			return err
 		}
@@ -406,8 +446,52 @@ type session struct {
 
 	wireIn       int64
 	wireOut      int64
+	charged      int64 // wire bytes already attributed to the ledger
 	contentBytes int64 // raw content bytes committed this session
 	span         *obs.Span
+}
+
+// send encodes and writes one reply, charging the bytes actually
+// written to the server's ledger by message semantics. The server
+// attributes by message type only: unlike the client it cannot know
+// whether a peer's retry made these bytes a retransmission.
+func (ss *session) send(m protocol.Message) error {
+	enc := protocol.Encode(m)
+	n, err := ss.w.Write(enc)
+	if led := ss.srv.cfg.Ledger; led != nil {
+		ss.charged += chargeSegs(led, messageSegments(m, int64(len(enc))), int64(n))
+	}
+	if err != nil {
+		return fmt.Errorf("syncnet: sending %v: %w", m.Type(), err)
+	}
+	return nil
+}
+
+func (ss *session) sendErr(code uint32, msg string) {
+	if err := ss.send(&protocol.Error{Code: code, Msg: msg}); err != nil {
+		log.Printf("syncnet: sending error reply: %v", err)
+	}
+}
+
+// chargeRead attributes one fully read request's wire bytes.
+func (ss *session) chargeRead(m protocol.Message, consumed int64) {
+	if led := ss.srv.cfg.Ledger; led != nil {
+		ss.charged += chargeSegs(led, messageSegments(m, consumed), consumed)
+	}
+}
+
+// settle sweeps the session's unattributed wire bytes — partial frames
+// read or written around a connection cut — into framing, after which
+// the server ledger's total equals BytesReceived+BytesSent exactly.
+func (ss *session) settle() {
+	led := ss.srv.cfg.Ledger
+	if led == nil {
+		return
+	}
+	if resid := ss.wireIn + ss.wireOut - ss.charged; resid > 0 {
+		led.Add(ledger.Framing, resid)
+		ss.charged += resid
+	}
 }
 
 type pendingUpload struct {
@@ -481,7 +565,7 @@ func (ss *session) handle(msg protocol.Message) error {
 	case *protocol.DeltaMsg:
 		return ss.onDelta(m)
 	default:
-		sendErr(ss.w, protocol.ErrBadRequest, fmt.Sprintf("unexpected %v", msg.Type()))
+		ss.sendErr(protocol.ErrBadRequest, fmt.Sprintf("unexpected %v", msg.Type()))
 		return fmt.Errorf("syncnet: unexpected message %v", msg.Type())
 	}
 }
@@ -507,7 +591,7 @@ func (ss *session) onIndexUpdate(m *protocol.IndexUpdate) error {
 	s.mu.Unlock()
 
 	ss.upload = &pendingUpload{id: id, name: m.Name, size: m.Size, hash: m.FileHash, dedupHit: hit}
-	return send(ss.w, &protocol.IndexReply{FileID: id, DedupHit: hit})
+	return ss.send(&protocol.IndexReply{FileID: id, DedupHit: hit})
 }
 
 // onResumeQuery adopts a stashed partial upload matching the client's
@@ -517,7 +601,7 @@ func (ss *session) onResumeQuery(m *protocol.ResumeQuery) error {
 	s := ss.srv
 	up := s.takePending(pendingKey{user: ss.user, name: m.Name, size: m.Size, hash: m.FileHash})
 	if up == nil {
-		return send(ss.w, &protocol.ResumeInfo{})
+		return ss.send(&protocol.ResumeInfo{})
 	}
 	ss.upload = up
 	s.mu.Lock()
@@ -526,16 +610,16 @@ func (ss *session) onResumeQuery(m *protocol.ResumeQuery) error {
 	s.mu.Unlock()
 	s.om.resumes.Inc()
 	s.logf("resuming %s/%s at offset %d", ss.user, up.name, len(up.buf))
-	return send(ss.w, &protocol.ResumeInfo{FileID: up.id, Offset: int64(len(up.buf))})
+	return ss.send(&protocol.ResumeInfo{FileID: up.id, Offset: int64(len(up.buf))})
 }
 
 func (ss *session) onData(m *protocol.Data) error {
 	if ss.upload == nil || ss.upload.id != m.FileID {
-		sendErr(ss.w, protocol.ErrBadRequest, "data without matching index update")
+		ss.sendErr(protocol.ErrBadRequest, "data without matching index update")
 		return fmt.Errorf("syncnet: stray data for file %d", m.FileID)
 	}
 	if int64(m.Offset) != int64(len(ss.upload.buf)) {
-		sendErr(ss.w, protocol.ErrBadRequest, "out-of-order data")
+		ss.sendErr(protocol.ErrBadRequest, "out-of-order data")
 		return fmt.Errorf("syncnet: data offset %d, expected %d", m.Offset, len(ss.upload.buf))
 	}
 	ss.upload.buf = append(ss.upload.buf, m.Payload...)
@@ -545,7 +629,7 @@ func (ss *session) onData(m *protocol.Data) error {
 func (ss *session) onCommit(m *protocol.Commit) error {
 	up := ss.upload
 	if up == nil || up.id != m.FileID {
-		sendErr(ss.w, protocol.ErrBadRequest, "commit without upload")
+		ss.sendErr(protocol.ErrBadRequest, "commit without upload")
 		return fmt.Errorf("syncnet: stray commit for file %d", m.FileID)
 	}
 	ss.upload = nil
@@ -560,21 +644,21 @@ func (ss *session) onCommit(m *protocol.Commit) error {
 		var err error
 		raw, err = comp.Decompress(up.buf, s.cfg.Compression)
 		if err != nil {
-			sendErr(ss.w, protocol.ErrBadRequest, "undecodable content")
+			ss.sendErr(protocol.ErrBadRequest, "undecodable content")
 			return fmt.Errorf("syncnet: decompress: %w", err)
 		}
 	}
 	if int64(len(raw)) != up.size {
-		sendErr(ss.w, protocol.ErrBadRequest, "content size mismatch")
+		ss.sendErr(protocol.ErrBadRequest, "content size mismatch")
 		return fmt.Errorf("syncnet: committed %d bytes, announced %d", len(raw), up.size)
 	}
 	if md5.Sum(raw) != up.hash {
-		sendErr(ss.w, protocol.ErrBadRequest, "content hash mismatch")
+		ss.sendErr(protocol.ErrBadRequest, "content hash mismatch")
 		return fmt.Errorf("syncnet: content hash mismatch for %q", up.name)
 	}
 
 	version := ss.store(up.name, up.id, raw, up.hash, up.dedupHit)
-	return send(ss.w, &protocol.Ack{FileID: up.id, Version: version, OK: true})
+	return ss.send(&protocol.Ack{FileID: up.id, Version: version, OK: true})
 }
 
 // store commits raw content under the user's name and returns the new
@@ -622,7 +706,7 @@ func (ss *session) onDelete(m *protocol.Delete) error {
 	}
 	if target == nil || target.deleted {
 		s.mu.Unlock()
-		sendErr(ss.w, protocol.ErrNotFound, "no such file")
+		ss.sendErr(protocol.ErrNotFound, "no such file")
 		return nil
 	}
 	target.deleted = true // fake deletion: content retained
@@ -631,7 +715,7 @@ func (ss *session) onDelete(m *protocol.Delete) error {
 	version := target.version
 	s.mu.Unlock()
 	s.om.deletes.Inc()
-	return send(ss.w, &protocol.Ack{FileID: m.FileID, Version: version, OK: true})
+	return ss.send(&protocol.Ack{FileID: m.FileID, Version: version, OK: true})
 }
 
 func (ss *session) onGet(m *protocol.Get) error {
@@ -640,7 +724,7 @@ func (ss *session) onGet(m *protocol.Get) error {
 	f := s.files(ss.user)[m.Name]
 	if f == nil || f.deleted {
 		s.mu.Unlock()
-		sendErr(ss.w, protocol.ErrNotFound, "no such file")
+		ss.sendErr(protocol.ErrNotFound, "no such file")
 		return nil
 	}
 	raw := f.data
@@ -652,7 +736,7 @@ func (ss *session) onGet(m *protocol.Get) error {
 	s.mu.Unlock()
 	s.om.downloads.Inc()
 
-	if err := send(ss.w, info); err != nil {
+	if err := ss.send(info); err != nil {
 		return err
 	}
 	payload := comp.Compress(raw, s.cfg.Compression)
@@ -661,14 +745,14 @@ func (ss *session) onGet(m *protocol.Get) error {
 		if end > len(payload) {
 			end = len(payload)
 		}
-		if err := send(ss.w, &protocol.Data{FileID: info.FileID, Offset: int64(off), Payload: payload[off:end]}); err != nil {
+		if err := ss.send(&protocol.Data{FileID: info.FileID, Offset: int64(off), Payload: payload[off:end]}); err != nil {
 			return err
 		}
 		if len(payload) == 0 {
 			break
 		}
 	}
-	return send(ss.w, &protocol.Ack{FileID: info.FileID, Version: info.Version, OK: true})
+	return ss.send(&protocol.Ack{FileID: info.FileID, Version: info.Version, OK: true})
 }
 
 func (ss *session) onSigRequest(m *protocol.SigRequest) error {
@@ -681,18 +765,18 @@ func (ss *session) onSigRequest(m *protocol.SigRequest) error {
 	f := s.files(ss.user)[m.Name]
 	if f == nil || f.deleted {
 		s.mu.Unlock()
-		sendErr(ss.w, protocol.ErrNotFound, "no such file")
+		ss.sendErr(protocol.ErrNotFound, "no such file")
 		return nil
 	}
 	sig := delta.Sign(f.data, bs)
 	s.mu.Unlock()
-	return send(ss.w, &protocol.SignatureMsg{Name: m.Name, Payload: sig.Encode()})
+	return ss.send(&protocol.SignatureMsg{Name: m.Name, Payload: sig.Encode()})
 }
 
 func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	d, err := delta.DecodeDelta(m.Payload)
 	if err != nil {
-		sendErr(ss.w, protocol.ErrBadRequest, "undecodable delta")
+		ss.sendErr(protocol.ErrBadRequest, "undecodable delta")
 		return fmt.Errorf("syncnet: %w", err)
 	}
 	s := ss.srv
@@ -700,7 +784,7 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	f := s.files(ss.user)[m.Name]
 	if f == nil || f.deleted {
 		s.mu.Unlock()
-		sendErr(ss.w, protocol.ErrNotFound, "no such file")
+		ss.sendErr(protocol.ErrNotFound, "no such file")
 		return nil
 	}
 	basis := f.data
@@ -708,7 +792,7 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 
 	raw, err := delta.Apply(basis, d)
 	if err != nil {
-		sendErr(ss.w, protocol.ErrBadRequest, "inapplicable delta")
+		ss.sendErr(protocol.ErrBadRequest, "inapplicable delta")
 		return fmt.Errorf("syncnet: %w", err)
 	}
 	s.mu.Lock()
@@ -730,18 +814,5 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	s.om.bytesStored.Set(stored)
 	ss.contentBytes += int64(len(raw))
 	ss.srv.logf("delta-synced %s/%s v%d (%d literal bytes)", ss.user, m.Name, version, d.LiteralBytes())
-	return send(ss.w, &protocol.Ack{FileID: id, Version: version, OK: true})
-}
-
-func send(w io.Writer, m protocol.Message) error {
-	if _, err := w.Write(protocol.Encode(m)); err != nil {
-		return fmt.Errorf("syncnet: sending %v: %w", m.Type(), err)
-	}
-	return nil
-}
-
-func sendErr(w io.Writer, code uint32, msg string) {
-	if err := send(w, &protocol.Error{Code: code, Msg: msg}); err != nil {
-		log.Printf("syncnet: sending error reply: %v", err)
-	}
+	return ss.send(&protocol.Ack{FileID: id, Version: version, OK: true})
 }

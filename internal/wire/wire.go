@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cloudsync/internal/capture"
+	"cloudsync/internal/obs/ledger"
 )
 
 // Params describes the framing cost model. DefaultParams returns values
@@ -157,6 +158,13 @@ func (c *Conn) Open(at time.Duration) (up, down int) {
 // connection is not established — callers must Open first, so handshake
 // costs are never silently omitted. It reports wire bytes per direction.
 func (c *Conn) Request(at time.Duration, upApp, downApp int, kind capture.Kind) (up, down int) {
+	return c.RequestCause(at, upApp, downApp, kind, ledger.Unset)
+}
+
+// RequestCause is Request with an explicit attribution cause for the
+// request and response payload bytes (ledger.Unset derives the cause
+// from kind). ACK packets always charge to framing.
+func (c *Conn) RequestCause(at time.Duration, upApp, downApp int, kind capture.Kind, cause ledger.Cause) (up, down int) {
 	if !c.open {
 		panic("wire: Request on closed connection")
 	}
@@ -164,9 +172,9 @@ func (c *Conn) Request(at time.Duration, upApp, downApp int, kind capture.Kind) 
 	reqWire, reqAck, reqSegs := p.FrameSize(upApp + p.HTTPRequestHeader)
 	respWire, respAck, respSegs := p.FrameSize(downApp + p.HTTPResponseHeader)
 	c.cap.Record(capture.Packet{Time: at, Flow: c.flow, Dir: capture.Up,
-		Kind: kind, Wire: reqWire, App: upApp, Segments: reqSegs})
+		Kind: kind, Wire: reqWire, App: upApp, Segments: reqSegs, Cause: cause})
 	c.cap.Record(capture.Packet{Time: at, Flow: c.flow.Reverse(), Dir: capture.Down,
-		Kind: kind, Wire: respWire, App: downApp, Segments: respSegs})
+		Kind: kind, Wire: respWire, App: downApp, Segments: respSegs, Cause: cause})
 	if reqAck > 0 {
 		c.cap.Record(capture.Packet{Time: at, Flow: c.flow.Reverse(), Dir: capture.Down,
 			Kind: capture.KindAck, Wire: reqAck, App: 0, Segments: reqAck / p.SegHeader})
