@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-obs bench-core tuebench
+.PHONY: check build vet test race bench bench-obs bench-core bench-scale bench-diff tuebench
 
 # check is the full gate: compile everything, vet, and run the test
 # suite under the race detector (the experiment layer is concurrent).
@@ -40,6 +40,23 @@ bench-core:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . \
 		| $(GO) run ./internal/obs/benchjson -raw > BENCH_core.json
 	cat BENCH_core.json
+
+# bench-scale records the multi-tenant scale-replay baseline: the trace
+# replayed at 8× synthetic user multiples on the sharded index/cloud,
+# reporting wall time, heap growth, peak RSS, and per-service TUE
+# (which must match the 1× baseline exactly) into BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/tuebench scale -n 8 \
+		| $(GO) run ./internal/obs/benchjson -raw > BENCH_scale.json
+	cat BENCH_scale.json
+
+# bench-diff re-measures the core benchmarks and diffs their allocation
+# counts against the committed BENCH_core.json baseline. Exit 1 on a
+# regression beyond the tolerance; CI runs this warn-only.
+bench-diff:
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . \
+		| $(GO) run ./internal/obs/benchjson -raw > /tmp/bench_core_new.json
+	$(GO) run ./internal/obs/benchjson -compare BENCH_core.json /tmp/bench_core_new.json -tolerance-pct 10
 
 tuebench:
 	$(GO) run ./cmd/tuebench -quick

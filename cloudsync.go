@@ -199,7 +199,7 @@ func (s *Simulation) Download(name string) error {
 // At schedules an action at an absolute virtual time — the building
 // block for frequent-modification workloads.
 func (s *Simulation) At(t time.Duration, fn func()) {
-	s.setup.Clock.At(t, fn)
+	s.setup.Clock.Post(t, fn)
 }
 
 // Now reports the current virtual time.

@@ -12,6 +12,13 @@
 //	tuebench -trace out.json     # Chrome trace of per-cell runtimes
 //	tuebench -explain            # per-cause TUE decomposition tables
 //	tuebench -ledger-out l.json  # per-cell cause breakdown for tuediff
+//	tuebench scale -n 8          # N× user-population scale replay
+//
+// The scale subcommand replays the trace with every user as an
+// independent account (all accounts of one service sharing one sharded
+// cloud) at 1× and N× the user population, checks per-service TUE is
+// identical at both multiples, and reports wall time, allocations, and
+// peak RSS as benchmark lines (make bench-scale → BENCH_scale.json).
 //
 // -trace records one span per simulated experiment cell (wall-clock
 // timed, so the trace shows where regeneration time goes across the
@@ -200,6 +207,10 @@ var experiments = []experiment{
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scale" {
+		runScale(os.Args[2:])
+		return
+	}
 	var (
 		name      = flag.String("experiment", "all", "artifact to regenerate (see -list)")
 		quick     = flag.Bool("quick", false, "reduced parameter sweeps")

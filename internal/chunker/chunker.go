@@ -11,7 +11,7 @@ import (
 	"crypto/md5"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Block is one chunk of a file.
@@ -111,16 +111,38 @@ type Range struct {
 }
 
 // Normalize sorts ranges, drops empty ones, and merges overlapping or
-// adjacent ranges.
+// adjacent ranges. When the input is already normalized — the common
+// case for append-style edit logs — it is returned as-is without
+// copying, so callers must treat both the argument and the result as
+// read-only afterwards.
 func Normalize(ranges []Range) []Range {
-	var rs []Range
+	normalized := true
+	for i, r := range ranges {
+		if r.Len <= 0 || (i > 0 && r.Off <= ranges[i-1].Off+ranges[i-1].Len) {
+			normalized = false
+			break
+		}
+	}
+	if normalized {
+		return ranges
+	}
+	rs := make([]Range, 0, len(ranges))
 	for _, r := range ranges {
 		if r.Len > 0 {
 			rs = append(rs, r)
 		}
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Off < rs[j].Off })
-	var out []Range
+	slices.SortStableFunc(rs, func(a, b Range) int {
+		switch {
+		case a.Off < b.Off:
+			return -1
+		case a.Off > b.Off:
+			return 1
+		default:
+			return 0
+		}
+	})
+	out := rs[:0]
 	for _, r := range rs {
 		if n := len(out); n > 0 && r.Off <= out[n-1].Off+out[n-1].Len {
 			end := r.Off + r.Len

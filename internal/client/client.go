@@ -325,7 +325,7 @@ func (c *Client) trySync() {
 		}
 	}
 	c.metaSpan = c.round.Child("client.metadata", obs.Int("bytes", metaBytes))
-	c.clock.Schedule(c.cfg.Hardware.MetadataTime(metaBytes), c.dispatch)
+	c.clock.PostDelay(c.cfg.Hardware.MetadataTime(metaBytes), c.dispatch)
 }
 
 // workItem is one file operation snapshotted into a session.
@@ -388,8 +388,8 @@ func (c *Client) dispatch() {
 // chatter plus the service's extra round trips.
 func (c *Client) sessionExchange() netem.Exchange {
 	return netem.Exchange{
-		UpApp:     protocol.EncodedSize(&protocol.Commit{}) + c.cfg.MetaPerSyncUp,
-		DownApp:   protocol.EncodedSize(&protocol.Ack{OK: true}) + c.cfg.MetaPerSyncDown,
+		UpApp:     protocol.SizeCommit() + c.cfg.MetaPerSyncUp,
+		DownApp:   protocol.SizeAck() + c.cfg.MetaPerSyncDown,
 		Kind:      capturepkg.KindControl,
 		ExtraRTTs: c.cfg.ExtraRTTs,
 	}
@@ -401,7 +401,7 @@ func (c *Client) snapshot() []workItem {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var batch []workItem
+	batch := make([]workItem, 0, len(names))
 	for _, name := range names {
 		p := c.pending[name]
 		if p.deleted {
@@ -425,7 +425,7 @@ func (c *Client) snapshot() []workItem {
 		item.decision = c.cloud.ProbeUpload(c.cfg.User, item.blob, c.cfg.UseDedup)
 		batch = append(batch, item)
 	}
-	c.pending = make(map[string]*pendingEntry)
+	clear(c.pending)
 	for _, item := range batch {
 		c.inSession[item.name] = true
 	}
@@ -475,15 +475,19 @@ type sessionUnit struct {
 func (c *Client) composeUnits(batch []workItem) []sessionUnit {
 	// Partition: BDS bundles creations; everything else goes per file.
 	var creations, rest []workItem
-	for _, item := range batch {
-		if !item.deleted && item.isCreate && c.cfg.BDS {
-			creations = append(creations, item)
-		} else {
-			rest = append(rest, item)
+	if c.cfg.BDS {
+		for _, item := range batch {
+			if !item.deleted && item.isCreate {
+				creations = append(creations, item)
+			} else {
+				rest = append(rest, item)
+			}
 		}
+	} else {
+		rest = batch
 	}
 
-	var units []sessionUnit
+	units := make([]sessionUnit, 0, len(rest))
 	bundleSize := c.cfg.BundleSize
 	if bundleSize <= 0 {
 		bundleSize = len(creations)
@@ -517,17 +521,14 @@ func (c *Client) bundleExchanges(bundle []workItem) []netem.Exchange {
 	indexUp := 0
 	var payload int64
 	for _, item := range bundle {
-		indexUp += protocol.EncodedSize(&protocol.IndexUpdate{
-			Name: item.name, Size: item.blob.Size(),
-			BlockHashes: make([]protocol.Fingerprint, item.decision.IndexFingerprints),
-		})
+		indexUp += protocol.SizeIndexUpdate(item.name, item.decision.IndexFingerprints)
 		payload += c.uploadPayload(item)
 		if item.decision.SkipAll {
 			c.stats.DedupSkips++
 		}
 		c.stats.FileSyncs++
 	}
-	replyDown := protocol.EncodedSize(&protocol.IndexReply{})
+	replyDown := protocol.SizeIndexReply(0)
 	ex := []netem.Exchange{{
 		UpApp:   indexUp,
 		DownApp: replyDown,
@@ -537,7 +538,7 @@ func (c *Client) bundleExchanges(bundle []workItem) []netem.Exchange {
 	if payload > 0 {
 		ex = append(ex, netem.Exchange{
 			UpApp:   c.expand(payload),
-			DownApp: protocol.EncodedSize(&protocol.Ack{OK: true}),
+			DownApp: protocol.SizeAck(),
 			Kind:    capturepkg.KindData,
 		})
 	}
@@ -562,8 +563,8 @@ func (c *Client) fileExchanges(item workItem) []netem.Exchange {
 	if item.deleted {
 		c.stats.Deletes++
 		return []netem.Exchange{{
-			UpApp:   protocol.EncodedSize(&protocol.Delete{}) + c.cfg.MetaPerFileUp/2,
-			DownApp: protocol.EncodedSize(&protocol.Ack{OK: true}) + c.cfg.MetaPerFileDown/2,
+			UpApp:   protocol.SizeDelete() + c.cfg.MetaPerFileUp/2,
+			DownApp: protocol.SizeAck() + c.cfg.MetaPerFileDown/2,
 			Kind:    capturepkg.KindControl,
 		}}
 	}
@@ -571,20 +572,17 @@ func (c *Client) fileExchanges(item workItem) []netem.Exchange {
 	if item.decision.SkipAll {
 		c.stats.DedupSkips++
 	}
-	indexUp := protocol.EncodedSize(&protocol.IndexUpdate{
-		Name: item.name, Size: item.blob.Size(),
-		BlockHashes: make([]protocol.Fingerprint, item.decision.IndexFingerprints),
-	})
-	var need []uint32
-	if n := item.decision.MissingBlocks; n > 0 {
-		need = make([]uint32, n)
+	indexUp := protocol.SizeIndexUpdate(item.name, item.decision.IndexFingerprints)
+	replyDown := protocol.SizeIndexReply(item.decision.MissingBlocks)
+	cause := ledger.Unset // → metadata via the control default
+	if item.decision.IndexFingerprints > 0 {
+		cause = ledger.DedupProbe
 	}
-	replyDown := protocol.EncodedSize(&protocol.IndexReply{NeedBlocks: need})
 	ex := []netem.Exchange{{
 		UpApp:   indexUp,
 		DownApp: replyDown,
 		Kind:    capturepkg.KindControl,
-		Cause:   indexCause([]workItem{item}),
+		Cause:   cause,
 	}}
 	if payload := c.uploadPayload(item); payload > 0 {
 		dataCause := ledger.Unset // → payload via the data default
@@ -595,14 +593,14 @@ func (c *Client) fileExchanges(item workItem) []netem.Exchange {
 		}
 		ex = append(ex, netem.Exchange{
 			UpApp:   c.expand(payload),
-			DownApp: protocol.EncodedSize(&protocol.Ack{OK: true}),
+			DownApp: protocol.SizeAck(),
 			Kind:    capturepkg.KindData,
 			Cause:   dataCause,
 		})
 	}
 	ex = append(ex, netem.Exchange{
-		UpApp:   protocol.EncodedSize(&protocol.Commit{}) + c.cfg.MetaPerFileUp,
-		DownApp: protocol.EncodedSize(&protocol.Ack{OK: true}) + c.cfg.MetaPerFileDown,
+		UpApp:   protocol.SizeCommit() + c.cfg.MetaPerFileUp,
+		DownApp: protocol.SizeAck() + c.cfg.MetaPerFileDown,
 		Kind:    capturepkg.KindControl,
 	})
 	return ex
@@ -638,7 +636,7 @@ func (c *Client) commitFn(item workItem) func() {
 // watcher suppressed. Conflicts resolve remote-wins: any queued local
 // state for the same name is superseded.
 func (c *Client) onRemoteChange(e *cloud.Entry, deleted bool) {
-	notify := protocol.EncodedSize(&protocol.Notify{FileID: e.ID, Version: e.Version, Name: e.Name})
+	notify := protocol.SizeNotify(e.Name)
 	name := e.Name
 	blob := e.Blob
 	sp := c.cfg.Tracer.Start("client.remote_change",
@@ -653,12 +651,12 @@ func (c *Client) onRemoteChange(e *cloud.Entry, deleted bool) {
 		sp.Set("payload", payload)
 		exchanges := []netem.Exchange{
 			{
-				UpApp:   protocol.EncodedSize(&protocol.Get{Name: name}),
-				DownApp: protocol.EncodedSize(&protocol.IndexReply{}),
+				UpApp:   protocol.SizeGet(name),
+				DownApp: protocol.SizeIndexReply(0),
 				Kind:    capturepkg.KindControl,
 			},
 			{
-				UpApp:   protocol.EncodedSize(&protocol.Commit{}),
+				UpApp:   protocol.SizeCommit(),
 				DownApp: c.expand(payload),
 				Kind:    capturepkg.KindData,
 			},
@@ -710,7 +708,7 @@ func (c *Client) onAllSessionsDone() {
 	c.round.End()
 	c.round = nil
 	c.inFlight = false
-	c.inSession = make(map[string]bool)
+	clear(c.inSession)
 	c.cfg.Defer.Reset()
 	if c.wantSync {
 		c.wantSync = false
@@ -730,12 +728,12 @@ func (c *Client) Download(name string, done func()) error {
 		obs.String("name", name), obs.Int("payload", payload))
 	exchanges := []netem.Exchange{
 		{
-			UpApp:   protocol.EncodedSize(&protocol.IndexUpdate{Name: name}) + c.cfg.MetaPerSyncUp/2,
-			DownApp: protocol.EncodedSize(&protocol.IndexReply{}) + c.cfg.MetaPerSyncDown/2,
+			UpApp:   protocol.SizeIndexUpdate(name, 0) + c.cfg.MetaPerSyncUp/2,
+			DownApp: protocol.SizeIndexReply(0) + c.cfg.MetaPerSyncDown/2,
 			Kind:    capturepkg.KindControl,
 		},
 		{
-			UpApp:   protocol.EncodedSize(&protocol.Commit{}),
+			UpApp:   protocol.SizeCommit(),
 			DownApp: c.expand(payload),
 			Kind:    capturepkg.KindData,
 		},

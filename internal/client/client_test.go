@@ -159,8 +159,8 @@ func TestBDSReducesSmallFileTraffic(t *testing.T) {
 			r.fs.Create(fileName(i), content.Random(1024, int64(100+i)))
 		}
 		r.clock.Run()
-		if r.cloud.Uploads != 100 {
-			t.Fatalf("cloud uploads = %d, want 100", r.cloud.Uploads)
+		if r.cloud.Uploads.Load() != 100 {
+			t.Fatalf("cloud uploads = %d, want 100", r.cloud.Uploads.Load())
 		}
 		return r.cap.TotalBytes()
 	}

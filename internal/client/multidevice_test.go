@@ -63,8 +63,8 @@ func TestRemoteCreatePropagates(t *testing.T) {
 	if b.client.Stats().Downloads != 1 {
 		t.Fatalf("device B stats = %+v", b.client.Stats())
 	}
-	if a.cloud.Uploads != 1 {
-		t.Fatalf("cloud uploads = %d, want exactly the original", a.cloud.Uploads)
+	if a.cloud.Uploads.Load() != 1 {
+		t.Fatalf("cloud uploads = %d, want exactly the original", a.cloud.Uploads.Load())
 	}
 }
 
@@ -98,11 +98,11 @@ func TestRemoteChangeDoesNotEcho(t *testing.T) {
 	a, b := twoDevices(t)
 	a.fs.Create("f", content.Random(10_000, 4))
 	a.clock.Run()
-	uploadsAfterCreate := a.cloud.Uploads
+	uploadsAfterCreate := a.cloud.Uploads.Load()
 	// Let everything settle; B must not generate further cloud traffic.
 	a.clock.RunUntil(a.clock.Now() + time.Hour)
-	if a.cloud.Uploads != uploadsAfterCreate {
-		t.Fatalf("uploads grew from %d to %d; devices are echoing", uploadsAfterCreate, a.cloud.Uploads)
+	if a.cloud.Uploads.Load() != uploadsAfterCreate {
+		t.Fatalf("uploads grew from %d to %d; devices are echoing", uploadsAfterCreate, a.cloud.Uploads.Load())
 	}
 	if b.client.PendingCount() != 0 {
 		t.Fatal("device B holds pending state from a mirrored change")
@@ -140,8 +140,8 @@ func TestLocalEditAfterMirrorSyncsIncrementally(t *testing.T) {
 	// defaultConfig is full-file sync, so B re-uploads the file — but
 	// it must be a modify (one upload), not a create-from-scratch plus
 	// echo loops.
-	if a.cloud.Uploads != 2 {
-		t.Fatalf("cloud uploads = %d, want 2", a.cloud.Uploads)
+	if a.cloud.Uploads.Load() != 2 {
+		t.Fatalf("cloud uploads = %d, want 2", a.cloud.Uploads.Load())
 	}
 	if up < 1<<20 {
 		t.Fatalf("B's modify moved %d bytes up, want full file (full-file sync)", up)

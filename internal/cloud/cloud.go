@@ -12,6 +12,10 @@ package cloud
 import (
 	"crypto/md5"
 	"fmt"
+	"hash/maphash"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudsync/internal/chunker"
@@ -66,17 +70,36 @@ type Entry struct {
 	Deleted bool
 }
 
-// Cloud is the service back end.
-type Cloud struct {
-	cfg         Config
-	index       *dedup.Index
+// cloudShards stripes the per-user file tables. Must be a power of two.
+const cloudShards = 32
+
+// userSeed keys the user→shard hash; one process-wide seed keeps a
+// given user on the same shard across every Cloud instance.
+var userSeed = maphash.MakeSeed()
+
+type cloudShard struct {
+	mu sync.RWMutex
+	// Both maps are allocated on first write: setups are built per
+	// experiment cell, so untouched shards must stay free.
 	files       map[string]map[string]*Entry // user → name → entry
-	nextID      uint64
 	subscribers map[string][]subscriber
+}
+
+// Cloud is the service back end. The file tables are striped across
+// power-of-two shards keyed by user, and the counters are atomic, so
+// independent users may sync concurrently (one goroutine per user). A
+// single user's entries are not protected against concurrent mutation
+// by multiple goroutines — the per-user-partition replay model never
+// does that.
+type Cloud struct {
+	cfg    Config
+	index  *dedup.Index
+	shards [cloudShards]cloudShard
+	nextID atomic.Uint64
 
 	// Uploads counts committed upload sessions; DedupSkips counts
 	// uploads fully avoided by deduplication.
-	Uploads, DedupSkips int64
+	Uploads, DedupSkips atomic.Int64
 }
 
 type subscriber struct {
@@ -90,7 +113,6 @@ func New(cfg Config) *Cloud {
 	return &Cloud{
 		cfg:   cfg,
 		index: dedup.NewIndex(cfg.DedupCrossUser),
-		files: make(map[string]map[string]*Entry),
 	}
 }
 
@@ -101,18 +123,30 @@ func (c *Cloud) Config() Config { return c.cfg }
 // statistics).
 func (c *Cloud) DedupIndex() *dedup.Index { return c.index }
 
-func (c *Cloud) ns(user string) map[string]*Entry {
-	m := c.files[user]
+func (c *Cloud) shard(user string) *cloudShard {
+	return &c.shards[maphash.String(userSeed, user)&(cloudShards-1)]
+}
+
+// ns returns the user's namespace, creating it if needed. The caller
+// must hold the shard's write lock.
+func (sh *cloudShard) ns(user string) map[string]*Entry {
+	if sh.files == nil {
+		sh.files = make(map[string]map[string]*Entry)
+	}
+	m := sh.files[user]
 	if m == nil {
 		m = make(map[string]*Entry)
-		c.files[user] = m
+		sh.files[user] = m
 	}
 	return m
 }
 
 // File looks up a live entry.
 func (c *Cloud) File(user, name string) (*Entry, bool) {
-	e, ok := c.ns(user)[name]
+	sh := c.shard(user)
+	sh.mu.RLock()
+	e, ok := sh.files[user][name]
+	sh.mu.RUnlock()
 	if !ok || e.Deleted {
 		return nil, false
 	}
@@ -145,13 +179,27 @@ func blockFingerprints(blob *content.Blob, blockSize int) []dedup.Fingerprint {
 	}
 	n := chunker.NumBlocks(blob.Size(), blockSize)
 	out := make([]dedup.Fingerprint, n)
+	// The hashed tuple is "gen:<kind>:<seed>:bs<blockSize>#<idx>:<len>",
+	// assembled by hand into one stack buffer: the bytes are identical
+	// to the fmt.Sprintf form, so fingerprints are stable, but a probe
+	// of a large appended file no longer allocates per block.
+	var buf [96]byte
+	prefix := append(buf[:0], "gen:"...)
+	prefix = strconv.AppendUint(prefix, uint64(blob.Kind()), 10)
+	prefix = append(prefix, ':')
+	prefix = strconv.AppendInt(prefix, blob.Seed(), 10)
+	prefix = append(prefix, ":bs"...)
+	prefix = strconv.AppendInt(prefix, int64(blockSize), 10)
+	prefix = append(prefix, '#')
 	for i := range out {
 		length := int64(blockSize)
 		if rem := blob.Size() - int64(i)*int64(blockSize); rem < length {
 			length = rem
 		}
-		out[i] = md5.Sum([]byte(fmt.Sprintf("gen:%d:%d:bs%d#%d:%d",
-			blob.Kind(), blob.Seed(), blockSize, i, length)))
+		b := strconv.AppendInt(prefix, int64(i), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, length, 10)
+		out[i] = md5.Sum(b)
 	}
 	return out
 }
@@ -218,11 +266,12 @@ func (c *Cloud) Commit(user, name string, blob *content.Blob, dirty []chunker.Ra
 	if blob == nil {
 		panic("cloud: Commit with nil blob")
 	}
-	ns := c.ns(user)
+	sh := c.shard(user)
+	sh.mu.Lock()
+	ns := sh.ns(user)
 	e, existed := ns[name]
 	if !existed {
-		c.nextID++
-		e = &Entry{ID: c.nextID, Name: name}
+		e = &Entry{ID: c.nextID.Add(1), Name: name}
 		ns[name] = e
 	}
 	isCreate := !existed || e.Deleted
@@ -230,9 +279,12 @@ func (c *Cloud) Commit(user, name string, blob *content.Blob, dirty []chunker.Ra
 	e.Version++
 	e.Deleted = false
 	e.StoredSize = comp.Size(blob, c.cfg.StoreCompression)
-	c.Uploads++
+	sh.mu.Unlock()
+	c.Uploads.Add(1)
 
 	c.recordDedup(user, blob)
+	// The mid-layer store is not itself concurrency-safe; configs that
+	// set one (the ablation experiments) replay sequentially.
 	c.applyMidLayer(user, name, blob, dirty, isCreate)
 	return e
 }
@@ -273,19 +325,23 @@ func (c *Cloud) applyMidLayer(user, name string, blob *content.Blob, dirty []chu
 // still gains the version (the user sees the file), but no data moved.
 func (c *Cloud) RecordSkippedUpload(user, name string, blob *content.Blob) *Entry {
 	e := c.Commit(user, name, blob, nil)
-	c.DedupSkips++
+	c.DedupSkips.Add(1)
 	return e
 }
 
 // Delete fake-deletes a file: attributes change, content stays (version
 // history remains available for rollback).
 func (c *Cloud) Delete(user, name string) error {
-	e, ok := c.ns(user)[name]
+	sh := c.shard(user)
+	sh.mu.Lock()
+	e, ok := sh.files[user][name]
 	if !ok || e.Deleted {
+		sh.mu.Unlock()
 		return fmt.Errorf("cloud: %s/%s: no such file", user, name)
 	}
 	e.Deleted = true
 	e.Version++
+	sh.mu.Unlock()
 	if c.cfg.MidLayer != nil && e.Blob != nil && e.Blob.Size() <= content.MaterializeLimit {
 		if _, err := c.cfg.MidLayer.Delete(user + "/" + name); err != nil {
 			panic(fmt.Sprintf("cloud: mid-layer delete: %v", err))
@@ -301,16 +357,24 @@ func (c *Cloud) Subscribe(user, device string, fn func(e *Entry, deleted bool)) 
 	if fn == nil {
 		panic("cloud: Subscribe with nil callback")
 	}
-	if c.subscribers == nil {
-		c.subscribers = make(map[string][]subscriber)
+	sh := c.shard(user)
+	sh.mu.Lock()
+	if sh.subscribers == nil {
+		sh.subscribers = make(map[string][]subscriber)
 	}
-	c.subscribers[user] = append(c.subscribers[user], subscriber{device: device, fn: fn})
+	sh.subscribers[user] = append(sh.subscribers[user], subscriber{device: device, fn: fn})
+	sh.mu.Unlock()
 }
 
 // NotifyPeers fans a committed change out to the user's other devices.
-// The originating device is skipped.
+// The originating device is skipped. Callbacks run outside the shard
+// lock — they re-enter the cloud (File, ServeSize) to serve downloads.
 func (c *Cloud) NotifyPeers(user, origin string, e *Entry, deleted bool) {
-	for _, sub := range c.subscribers[user] {
+	sh := c.shard(user)
+	sh.mu.RLock()
+	subs := sh.subscribers[user]
+	sh.mu.RUnlock()
+	for _, sub := range subs {
 		if sub.device == origin {
 			continue
 		}

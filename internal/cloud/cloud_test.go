@@ -169,8 +169,8 @@ func TestRecordSkippedUpload(t *testing.T) {
 	if e.Version != 1 {
 		t.Fatalf("skipped upload entry = %+v", e)
 	}
-	if c.DedupSkips != 1 || c.Uploads != 2 {
-		t.Fatalf("counters = skips %d uploads %d", c.DedupSkips, c.Uploads)
+	if c.DedupSkips.Load() != 1 || c.Uploads.Load() != 2 {
+		t.Fatalf("counters = skips %d uploads %d", c.DedupSkips.Load(), c.Uploads.Load())
 	}
 }
 

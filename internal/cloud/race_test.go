@@ -1,0 +1,115 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cloudsync/internal/content"
+	"cloudsync/internal/dedup"
+)
+
+// TestCloudConcurrentUsers drives one goroutine per user against a
+// shared cloud — the per-user-partition model the scale replay uses.
+// Meaningful under -race; the assertions check the aggregate state is
+// exact regardless of interleaving.
+func TestCloudConcurrentUsers(t *testing.T) {
+	c := New(Config{
+		DedupGranularity: dedup.FullFile,
+		DedupCrossUser:   true,
+	})
+	const users, filesEach = 16, 50
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user%02d", u)
+			for i := 0; i < filesEach; i++ {
+				name := fmt.Sprintf("f%03d", i)
+				// Shared content population: cross-user dedup races to
+				// store each blob exactly once.
+				blob := content.Text(int64(1000+i), int64(i))
+				dec := c.ProbeUpload(user, blob, true)
+				if dec.SkipAll {
+					c.RecordSkippedUpload(user, name, blob)
+				} else {
+					c.Commit(user, name, blob, nil)
+				}
+				// Touch the read path concurrently too.
+				if _, ok := c.File(user, name); !ok {
+					t.Errorf("%s/%s vanished after commit", user, name)
+					return
+				}
+			}
+			// Delete one file per user to exercise that path.
+			if err := c.Delete(user, "f000"); err != nil {
+				t.Errorf("delete: %v", err)
+			}
+		}(u)
+	}
+	wg.Wait()
+
+	if got := c.Uploads.Load(); got != users*filesEach {
+		t.Fatalf("Uploads = %d, want %d", got, users*filesEach)
+	}
+	// Every distinct blob ends up indexed exactly once (Add of an
+	// existing fingerprint is a no-op, so racing commits of the same
+	// content collapse).
+	if got := c.DedupIndex().Unique(); got != filesEach {
+		t.Fatalf("index Unique = %d, want %d", got, filesEach)
+	}
+	// A probe and its commit are two calls, so two users racing on the
+	// same blob may both upload it; skips are bounded, not exact.
+	if got := c.DedupSkips.Load(); got > (users-1)*filesEach {
+		t.Fatalf("DedupSkips = %d, want ≤ %d", got, (users-1)*filesEach)
+	}
+	var wantStored int64
+	for i := 0; i < filesEach; i++ {
+		wantStored += int64(1000 + i)
+	}
+	if got := c.DedupIndex().Stats().BytesStored; got != wantStored {
+		t.Fatalf("BytesStored = %d, want %d", got, wantStored)
+	}
+	for u := 0; u < users; u++ {
+		user := fmt.Sprintf("user%02d", u)
+		if _, ok := c.File(user, "f000"); ok {
+			t.Fatalf("%s/f000 still live after delete", user)
+		}
+		if _, ok := c.File(user, "f001"); !ok {
+			t.Fatalf("%s/f001 missing", user)
+		}
+	}
+}
+
+// TestCloudConcurrentNotify exercises Subscribe/NotifyPeers across
+// concurrent users: each user registers two devices and fans out its
+// own commits; callbacks re-enter the cloud's read path.
+func TestCloudConcurrentNotify(t *testing.T) {
+	c := New(Config{})
+	const users, commits = 8, 30
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user%02d", u)
+			var notified int
+			c.Subscribe(user, "desktop", func(e *Entry, deleted bool) {
+				if _, ok := c.File(user, e.Name); !ok && !deleted {
+					t.Errorf("%s notified of missing file %s", user, e.Name)
+				}
+				notified++
+			})
+			c.Subscribe(user, "laptop", func(e *Entry, deleted bool) {})
+			for i := 0; i < commits; i++ {
+				e := c.Commit(user, fmt.Sprintf("f%03d", i), content.Zeros(64), nil)
+				c.NotifyPeers(user, "laptop", e, false)
+			}
+			if notified != commits {
+				t.Errorf("%s desktop saw %d notifications, want %d", user, notified, commits)
+			}
+		}(u)
+	}
+	wg.Wait()
+}

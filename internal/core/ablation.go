@@ -105,8 +105,8 @@ func CompressDedupAblation(recs []trace.Record, blockSize int) []AblationCell {
 	// worker pool.
 	return parallel.Map(combos, func(_ int, c combo) AblationCell {
 		cell := AblationCell{Compression: c.compression, Dedup: c.gran}
-		seenFiles := make(map[dedup.Fingerprint]bool)
-		seenBlocks := make(map[dedup.Fingerprint]bool)
+		seenFiles := make(map[dedup.Fingerprint]struct{})
+		seenBlocks := make(map[dedup.Fingerprint]struct{})
 		for _, r := range recs {
 			wire := r.OriginalSize
 			if c.compression {
@@ -119,11 +119,11 @@ func CompressDedupAblation(recs []trace.Record, blockSize int) []AblationCell {
 				// Full-file dedup fingerprints the (possibly
 				// compressed) upload as-is: no decompression ever.
 				fp := r.FullHash()
-				if seenFiles[fp] {
+				if _, dup := seenFiles[fp]; dup {
 					cell.Traffic += metaPerSkip
 					continue
 				}
-				seenFiles[fp] = true
+				seenFiles[fp] = struct{}{}
 				cell.Traffic += wire
 			case dedup.Block:
 				// Block dedup must fingerprint raw content blocks;
@@ -132,8 +132,8 @@ func CompressDedupAblation(recs []trace.Record, blockSize int) []AblationCell {
 				var missing int64
 				for idx := int64(0); idx < n; idx++ {
 					fp := r.BlockHash(blockSize, idx)
-					if !seenBlocks[fp] {
-						seenBlocks[fp] = true
+					if _, dup := seenBlocks[fp]; !dup {
+						seenBlocks[fp] = struct{}{}
 						missing++
 					}
 				}

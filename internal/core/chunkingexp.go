@@ -75,13 +75,13 @@ func ChunkingAblation(versions int, fileSize int64, editSize int) []ChunkingCell
 	for _, s := range schemes {
 		s := s
 		evals = append(evals, func() ChunkingCell {
-			seen := make(map[dedup.Fingerprint]bool)
+			seen := make(map[dedup.Fingerprint]struct{})
 			cell := ChunkingCell{Scheme: s.name}
 			for i, data := range chain {
 				var uploaded int64
 				for _, b := range s.chunks(data) {
-					if !seen[b.Sum] {
-						seen[b.Sum] = true
+					if _, dup := seen[b.Sum]; !dup {
+						seen[b.Sum] = struct{}{}
 						uploaded += int64(b.Size)
 					}
 				}

@@ -39,12 +39,74 @@ const s3DollarsPerGB = 0.05
 // to the exact-compression threshold become text (so compression-aware
 // services benefit), everything else is incompressible random data.
 // Duplicate records share a generator seed, so content identity — and
-// therefore deduplication — carries over from the trace.
-func replayBlob(r trace.Record) *content.Blob {
+// therefore deduplication — carries over from the trace. idOffset
+// shifts the seed without changing size or compressibility: the scale
+// replay gives each cloned user population its own content identities.
+func replayBlob(r trace.Record, idOffset int64) *content.Blob {
 	if r.EffectivelyCompressible() && r.OriginalSize <= 4<<20 {
-		return content.Text(r.OriginalSize, r.ContentID)
+		return content.Text(r.OriginalSize, r.ContentID+idOffset)
 	}
-	return content.Random(r.OriginalSize, r.ContentID)
+	return content.Random(r.OriginalSize, r.ContentID+idOffset)
+}
+
+// scheduleRecord schedules one trace record onto a setup's clock: the
+// creation at the record's trace timestamp and, for modified records,
+// the modification events (1 % of the file, capped at 64 KB, per edit)
+// spread between creation and last-modification time. It returns the
+// record's contribution to the data-update size — TUE's denominator.
+// All content seeds derive from the record's ContentID (plus the scale
+// replay's clone offset), so scheduling draws no global seeds and is
+// safe to run for independent setups in parallel.
+func scheduleRecord(s *service.Setup, name string, r trace.Record, idOffset int64) int64 {
+	update := r.OriginalSize
+	blob := replayBlob(r, idOffset)
+	at := r.Created.Sub(trace.Epoch)
+	s.Clock.Post(at, func() {
+		if err := s.FS.Create(name, blob); err != nil {
+			panic(fmt.Sprintf("core: replay create: %v", err))
+		}
+	})
+	if r.Mods == 0 {
+		return update
+	}
+	window := r.Modified.Sub(r.Created)
+	if window <= 0 {
+		window = time.Hour
+	}
+	edit := r.OriginalSize / 100
+	if edit < 1 {
+		edit = 1
+	}
+	if edit > 64<<10 {
+		edit = 64 << 10
+	}
+	mods := r.Mods
+	if mods > 8 {
+		mods = 8 // bound per-file event count; the tail adds little
+	}
+	for m := 1; m <= mods; m++ {
+		off := (r.OriginalSize / int64(mods+1)) * int64(m)
+		if off >= r.OriginalSize {
+			off = r.OriginalSize - 1
+		}
+		update += edit
+		editLen := edit
+		s.Clock.Post(at+window*time.Duration(m)/time.Duration(mods+1), func() {
+			f, ok := s.FS.File(name)
+			if !ok || f.Size() == 0 {
+				return
+			}
+			end := off + editLen
+			if end > f.Size() {
+				end = f.Size()
+			}
+			if err := s.FS.Write(name, f.Blob().Mutate(off),
+				[]chunker.Range{{Off: off, Len: end - off}}); err != nil {
+				panic(fmt.Sprintf("core: replay edit: %v", err))
+			}
+		})
+	}
+	return update
 }
 
 // TraceReplay replays a trace through the real sync engine under one
@@ -56,58 +118,8 @@ func replayBlob(r trace.Record) *content.Blob {
 func TraceReplay(n service.Name, recs []trace.Record, fullScaleFactor float64) ReplayResult {
 	s := newSetup(n, client.PC, service.Options{})
 	var update int64
-	epoch := trace.Epoch
-
 	for i, r := range recs {
-		name := fmt.Sprintf("u/%s/f%06d", r.User, i)
-		blob := replayBlob(r)
-		update += r.OriginalSize
-		at := r.Created.Sub(epoch)
-		s.Clock.At(at, func() {
-			if err := s.FS.Create(name, blob); err != nil {
-				panic(fmt.Sprintf("core: replay create: %v", err))
-			}
-		})
-		if r.Mods == 0 {
-			continue
-		}
-		window := r.Modified.Sub(r.Created)
-		if window <= 0 {
-			window = time.Hour
-		}
-		edit := r.OriginalSize / 100
-		if edit < 1 {
-			edit = 1
-		}
-		if edit > 64<<10 {
-			edit = 64 << 10
-		}
-		mods := r.Mods
-		if mods > 8 {
-			mods = 8 // bound per-file event count; the tail adds little
-		}
-		for m := 1; m <= mods; m++ {
-			off := (r.OriginalSize / int64(mods+1)) * int64(m)
-			if off >= r.OriginalSize {
-				off = r.OriginalSize - 1
-			}
-			update += edit
-			editLen := edit
-			s.Clock.At(at+window*time.Duration(m)/time.Duration(mods+1), func() {
-				f, ok := s.FS.File(name)
-				if !ok || f.Size() == 0 {
-					return
-				}
-				end := off + editLen
-				if end > f.Size() {
-					end = f.Size()
-				}
-				if err := s.FS.Write(name, f.Blob().Mutate(off),
-					[]chunker.Range{{Off: off, Len: end - off}}); err != nil {
-					panic(fmt.Sprintf("core: replay edit: %v", err))
-				}
-			})
-		}
+		update += scheduleRecord(s, fmt.Sprintf("u/%s/f%06d", r.User, i), r, 0)
 	}
 	s.Clock.Run()
 

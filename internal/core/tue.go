@@ -205,7 +205,7 @@ func appendWorkload(s *service.Setup, x float64, total, seed int64) (traffic int
 		}
 		scheduled += n
 		grow := n
-		s.Clock.At(base+time.Duration(i)*period, func() {
+		s.Clock.Post(base+time.Duration(i)*period, func() {
 			if err := s.FS.Append(name, grow); err != nil {
 				panic(fmt.Sprintf("core: append: %v", err))
 			}

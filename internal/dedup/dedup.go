@@ -10,7 +10,10 @@ package dedup
 
 import (
 	"crypto/md5"
+	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Fingerprint is a content fingerprint (MD5, as in the paper's trace).
@@ -54,12 +57,27 @@ type Stats struct {
 	BytesAvoided, BytesStored int64
 }
 
-// Index is a fingerprint store. The zero value is not usable; construct
-// with NewIndex.
+// indexShards stripes the fingerprint tables so concurrent per-user
+// replays don't serialize on one lock. Must be a power of two.
+const indexShards = 32
+
+type indexShard struct {
+	mu sync.RWMutex
+	// entries is allocated on the shard's first Add: setups are built
+	// per experiment cell, so empty shards must stay free.
+	entries map[string]map[Fingerprint]int64 // scope → fingerprint → size
+}
+
+// Index is a fingerprint store, safe for concurrent use. Fingerprints
+// are striped across power-of-two shards keyed by the fingerprint bytes
+// (MD5 output is uniform, so the stripes balance); statistics are
+// plain atomic counters. The zero value is not usable; construct with
+// NewIndex.
 type Index struct {
 	crossUser bool
-	entries   map[string]map[Fingerprint]int64
-	stats     Stats
+	shards    [indexShards]indexShard
+
+	hits, misses, bytesAvoided, bytesStored atomic.Int64
 }
 
 // NewIndex returns an empty index. With crossUser set, fingerprints are
@@ -67,7 +85,7 @@ type Index struct {
 // another's, as Ubuntu One did); otherwise each user deduplicates only
 // against their own data (Dropbox after it disabled cross-user dedup).
 func NewIndex(crossUser bool) *Index {
-	return &Index{crossUser: crossUser, entries: make(map[string]map[Fingerprint]int64)}
+	return &Index{crossUser: crossUser}
 }
 
 // CrossUser reports the index's scope policy.
@@ -80,20 +98,23 @@ func (ix *Index) scope(user string) string {
 	return user
 }
 
+func (ix *Index) shard(fp Fingerprint) *indexShard {
+	return &ix.shards[binary.LittleEndian.Uint64(fp[:8])&(indexShards-1)]
+}
+
 // Lookup reports whether the fingerprint is already stored in the
 // user's scope, updating hit/miss statistics.
 func (ix *Index) Lookup(user string, fp Fingerprint, size int64) bool {
-	m := ix.entries[ix.scope(user)]
-	if m == nil {
-		ix.stats.Misses++
-		return false
-	}
-	if _, ok := m[fp]; ok {
-		ix.stats.Hits++
-		ix.stats.BytesAvoided += size
+	sh := ix.shard(fp)
+	sh.mu.RLock()
+	_, ok := sh.entries[ix.scope(user)][fp]
+	sh.mu.RUnlock()
+	if ok {
+		ix.hits.Add(1)
+		ix.bytesAvoided.Add(size)
 		return true
 	}
-	ix.stats.Misses++
+	ix.misses.Add(1)
 	return false
 }
 
@@ -101,26 +122,47 @@ func (ix *Index) Lookup(user string, fp Fingerprint, size int64) bool {
 // fingerprint is a no-op.
 func (ix *Index) Add(user string, fp Fingerprint, size int64) {
 	scope := ix.scope(user)
-	m := ix.entries[scope]
+	sh := ix.shard(fp)
+	sh.mu.Lock()
+	if sh.entries == nil {
+		sh.entries = make(map[string]map[Fingerprint]int64)
+	}
+	m := sh.entries[scope]
 	if m == nil {
 		m = make(map[Fingerprint]int64)
-		ix.entries[scope] = m
+		sh.entries[scope] = m
 	}
-	if _, ok := m[fp]; !ok {
+	_, dup := m[fp]
+	if !dup {
 		m[fp] = size
-		ix.stats.BytesStored += size
+	}
+	sh.mu.Unlock()
+	if !dup {
+		ix.bytesStored.Add(size)
 	}
 }
 
 // Stats returns a copy of the accumulated statistics.
-func (ix *Index) Stats() Stats { return ix.stats }
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Hits:         ix.hits.Load(),
+		Misses:       ix.misses.Load(),
+		BytesAvoided: ix.bytesAvoided.Load(),
+		BytesStored:  ix.bytesStored.Load(),
+	}
+}
 
 // Unique reports the number of distinct fingerprints stored across all
 // scopes.
 func (ix *Index) Unique() int {
 	n := 0
-	for _, m := range ix.entries {
-		n += len(m)
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		for _, m := range sh.entries {
+			n += len(m)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -129,18 +171,27 @@ func (ix *Index) Unique() int {
 // size of data before deduplication divided by size after, the metric
 // plotted in Fig. 5. The zero value is ready to use.
 type RatioCounter struct {
-	seen          map[Fingerprint]bool
+	seen          map[Fingerprint]struct{}
 	before, after int64
+}
+
+// Reserve pre-sizes the fingerprint set for n expected units, so
+// callers that know the population size (block counts derived from file
+// sizes) avoid incremental map growth.
+func (rc *RatioCounter) Reserve(n int) {
+	if rc.seen == nil {
+		rc.seen = make(map[Fingerprint]struct{}, n)
+	}
 }
 
 // Add feeds one unit (file or block) with its fingerprint and size.
 func (rc *RatioCounter) Add(fp Fingerprint, size int64) {
 	if rc.seen == nil {
-		rc.seen = make(map[Fingerprint]bool)
+		rc.seen = make(map[Fingerprint]struct{})
 	}
 	rc.before += size
-	if !rc.seen[fp] {
-		rc.seen[fp] = true
+	if _, dup := rc.seen[fp]; !dup {
+		rc.seen[fp] = struct{}{}
 		rc.after += size
 	}
 }

@@ -1,0 +1,88 @@
+package dedup
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestIndexConcurrent hammers the sharded index from many goroutines —
+// meaningful under -race — and checks the aggregate invariants that
+// must hold regardless of interleaving.
+func TestIndexConcurrent(t *testing.T) {
+	for _, crossUser := range []bool{false, true} {
+		t.Run(fmt.Sprintf("crossUser=%v", crossUser), func(t *testing.T) {
+			ix := NewIndex(crossUser)
+			const (
+				workers  = 8
+				perUser  = 400
+				distinct = 100 // each worker reuses fingerprints 4×
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					user := fmt.Sprintf("u%d", w)
+					for i := 0; i < perUser; i++ {
+						fp := fingerprint(w, i%distinct)
+						if !ix.Lookup(user, fp, 10) {
+							ix.Add(user, fp, 10)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			if got := ix.Unique(); got != workers*distinct {
+				t.Fatalf("Unique = %d, want %d", got, workers*distinct)
+			}
+			s := ix.Stats()
+			if s.Hits+s.Misses != workers*perUser {
+				t.Fatalf("hits %d + misses %d != %d lookups", s.Hits, s.Misses, workers*perUser)
+			}
+			if s.BytesStored != int64(workers*distinct)*10 {
+				t.Fatalf("BytesStored = %d, want %d", s.BytesStored, workers*distinct*10)
+			}
+		})
+	}
+}
+
+// TestIndexConcurrentSharedFingerprints has every worker insert the SAME
+// fingerprint population: with cross-user scope the index must store each
+// fingerprint exactly once no matter which worker wins the race.
+func TestIndexConcurrentSharedFingerprints(t *testing.T) {
+	ix := NewIndex(true)
+	const workers, distinct = 8, 256
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", w)
+			for i := 0; i < distinct; i++ {
+				fp := fingerprint(0, i)
+				if !ix.Lookup(user, fp, 7) {
+					ix.Add(user, fp, 7)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ix.Unique(); got != distinct {
+		t.Fatalf("Unique = %d, want %d", got, distinct)
+	}
+	if s := ix.Stats(); s.BytesStored != distinct*7 {
+		t.Fatalf("BytesStored = %d, want %d", s.BytesStored, distinct*7)
+	}
+}
+
+func fingerprint(w, i int) Fingerprint {
+	var fp Fingerprint
+	fp[0] = byte(w)
+	fp[1] = byte(i)
+	fp[2] = byte(i >> 8)
+	// Spread across shards: the shard key reads the first 8 bytes.
+	fp[7] = byte(w*31 + i)
+	return fp
+}

@@ -1,10 +1,8 @@
 package delta
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
-	"io"
 )
 
 // Wire format of an encoded delta:
@@ -26,35 +24,50 @@ import (
 //	blocks: count × (weak uint32, strong 16 bytes)  — sizes are implied
 //	by position (all full except a final short block derived from
 //	fileSize).
+//
+// Both codecs write little-endian fields by hand into one buffer sized
+// up front, and parse with direct offset arithmetic: the reflection-
+// driven binary.Write/binary.Read per field (and the bytes.Buffer
+// growth behind it) used to dominate the codec's allocation profile.
 
 const (
-	deltaMagic = "DLT1"
-	sigMagic   = "SIG1"
-	opCopyTag  = 0x01
-	opLitTag   = 0x02
+	deltaMagic  = "DLT1"
+	sigMagic    = "SIG1"
+	opCopyTag   = 0x01
+	opLitTag    = 0x02
+	deltaHeader = 20 // magic + blockSize + targetSize + opCount
+	sigHeader   = 20 // magic + blockSize + fileSize + count
 )
 
 // Encode serializes the delta for transmission.
 func (d Delta) Encode() []byte {
-	var buf bytes.Buffer
-	buf.WriteString(deltaMagic)
-	binary.Write(&buf, binary.LittleEndian, uint32(d.BlockSize))
-	binary.Write(&buf, binary.LittleEndian, uint64(d.TargetSize))
-	binary.Write(&buf, binary.LittleEndian, uint32(len(d.Ops)))
+	size := deltaHeader
 	for _, op := range d.Ops {
 		switch op.Kind {
 		case OpCopy:
-			buf.WriteByte(opCopyTag)
-			binary.Write(&buf, binary.LittleEndian, uint32(op.Index))
+			size += 1 + 4
 		case OpLiteral:
-			buf.WriteByte(opLitTag)
-			binary.Write(&buf, binary.LittleEndian, uint32(len(op.Data)))
-			buf.Write(op.Data)
+			size += 1 + 4 + len(op.Data)
 		default:
 			panic(fmt.Sprintf("delta: encoding unknown op kind %d", op.Kind))
 		}
 	}
-	return buf.Bytes()
+	buf := make([]byte, 0, size)
+	buf = append(buf, deltaMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.BlockSize))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.TargetSize))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Ops)))
+	for _, op := range d.Ops {
+		if op.Kind == OpCopy {
+			buf = append(buf, opCopyTag)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.Index))
+		} else {
+			buf = append(buf, opLitTag)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.Data)))
+			buf = append(buf, op.Data...)
+		}
+	}
+	return buf
 }
 
 // EncodedLiteralBytes reports how many literal data bytes an encoded
@@ -62,12 +75,11 @@ func (d Delta) Encode() []byte {
 // the traffic-attribution ledger uses it to split a DeltaMsg body into
 // delta_literal vs delta_copyref without paying a second decode.
 func EncodedLiteralBytes(data []byte) (int64, error) {
-	const header = 20 // magic + blockSize + targetSize + opCount
-	if len(data) < header || string(data[:4]) != deltaMagic {
+	if len(data) < deltaHeader || string(data[:4]) != deltaMagic {
 		return 0, fmt.Errorf("delta: bad magic in encoded delta")
 	}
-	n := binary.LittleEndian.Uint32(data[16:header])
-	off := header
+	n := binary.LittleEndian.Uint32(data[16:deltaHeader])
+	off := deltaHeader
 	var lit int64
 	for i := uint32(0); i < n; i++ {
 		if off >= len(data) {
@@ -97,99 +109,84 @@ func EncodedLiteralBytes(data []byte) (int64, error) {
 
 // DecodeDelta parses an encoded delta.
 func DecodeDelta(data []byte) (Delta, error) {
-	r := bytes.NewReader(data)
 	var d Delta
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != deltaMagic {
-		return d, fmt.Errorf("delta: bad magic %q", magic)
+	if len(data) < deltaHeader || string(data[:4]) != deltaMagic {
+		return d, fmt.Errorf("delta: bad magic %q", truncMagic(data))
 	}
-	var bs uint32
-	var ts uint64
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &bs); err != nil {
-		return d, fmt.Errorf("delta: reading block size: %w", err)
-	}
-	if err := binary.Read(r, binary.LittleEndian, &ts); err != nil {
-		return d, fmt.Errorf("delta: reading target size: %w", err)
-	}
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return d, fmt.Errorf("delta: reading op count: %w", err)
-	}
+	bs := binary.LittleEndian.Uint32(data[4:8])
+	ts := binary.LittleEndian.Uint64(data[8:16])
+	n := binary.LittleEndian.Uint32(data[16:deltaHeader])
 	if bs == 0 {
 		return d, fmt.Errorf("delta: zero block size")
 	}
 	d.BlockSize = int(bs)
 	d.TargetSize = int64(ts)
+	if n > 0 {
+		d.Ops = make([]Op, 0, n)
+	}
+	off := deltaHeader
 	for i := uint32(0); i < n; i++ {
-		tag, err := r.ReadByte()
-		if err != nil {
-			return d, fmt.Errorf("delta: op %d: %w", i, err)
+		if off >= len(data) {
+			return d, fmt.Errorf("delta: op %d: unexpected EOF", i)
 		}
+		tag := data[off]
+		off++
 		switch tag {
 		case opCopyTag:
-			var idx uint32
-			if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
-				return d, fmt.Errorf("delta: op %d index: %w", i, err)
+			if off+4 > len(data) {
+				return d, fmt.Errorf("delta: op %d index: unexpected EOF", i)
 			}
+			idx := binary.LittleEndian.Uint32(data[off : off+4])
+			off += 4
 			d.Ops = append(d.Ops, Op{Kind: OpCopy, Index: int(idx)})
 		case opLitTag:
-			var length uint32
-			if err := binary.Read(r, binary.LittleEndian, &length); err != nil {
-				return d, fmt.Errorf("delta: op %d length: %w", i, err)
+			if off+4 > len(data) {
+				return d, fmt.Errorf("delta: op %d length: unexpected EOF", i)
 			}
-			if int(length) > r.Len() {
-				return d, fmt.Errorf("delta: op %d literal of %d bytes exceeds %d remaining", i, length, r.Len())
+			length := binary.LittleEndian.Uint32(data[off : off+4])
+			off += 4
+			if int(length) > len(data)-off {
+				return d, fmt.Errorf("delta: op %d literal of %d bytes exceeds %d remaining",
+					i, length, len(data)-off)
 			}
 			lit := make([]byte, length)
-			if _, err := io.ReadFull(r, lit); err != nil {
-				return d, fmt.Errorf("delta: op %d literal: %w", i, err)
-			}
+			copy(lit, data[off:off+int(length)])
+			off += int(length)
 			d.Ops = append(d.Ops, Op{Kind: OpLiteral, Data: lit})
 		default:
 			return d, fmt.Errorf("delta: op %d has unknown tag %#x", i, tag)
 		}
 	}
-	if r.Len() != 0 {
-		return d, fmt.Errorf("delta: %d trailing bytes", r.Len())
+	if off != len(data) {
+		return d, fmt.Errorf("delta: %d trailing bytes", len(data)-off)
 	}
 	return d, nil
 }
 
 // Encode serializes the signature for transmission.
 func (s Signature) Encode() []byte {
-	var buf bytes.Buffer
-	buf.WriteString(sigMagic)
-	binary.Write(&buf, binary.LittleEndian, uint32(s.BlockSize))
-	binary.Write(&buf, binary.LittleEndian, uint64(s.FileSize))
-	binary.Write(&buf, binary.LittleEndian, uint32(len(s.Blocks)))
+	buf := make([]byte, 0, sigHeader+len(s.Blocks)*(4+16))
+	buf = append(buf, sigMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.BlockSize))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.FileSize))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Blocks)))
 	for _, b := range s.Blocks {
-		binary.Write(&buf, binary.LittleEndian, b.Weak)
-		buf.Write(b.Strong[:])
+		buf = binary.LittleEndian.AppendUint32(buf, b.Weak)
+		buf = append(buf, b.Strong[:]...)
 	}
-	return buf.Bytes()
+	return buf
 }
 
 // DecodeSignature parses an encoded signature, reconstructing block
 // indices and sizes from the file size.
 func DecodeSignature(data []byte) (Signature, error) {
-	r := bytes.NewReader(data)
 	var s Signature
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != sigMagic {
-		return s, fmt.Errorf("delta: bad signature magic %q", magic)
+	if len(data) < sigHeader || string(data[:4]) != sigMagic {
+		return s, fmt.Errorf("delta: bad signature magic %q", truncMagic(data))
 	}
-	var bs uint32
-	var fs uint64
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &bs); err != nil {
-		return s, fmt.Errorf("delta: reading block size: %w", err)
-	}
-	if err := binary.Read(r, binary.LittleEndian, &fs); err != nil {
-		return s, fmt.Errorf("delta: reading file size: %w", err)
-	}
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return s, fmt.Errorf("delta: reading block count: %w", err)
-	}
+	bs := binary.LittleEndian.Uint32(data[4:8])
+	fs := binary.LittleEndian.Uint64(data[8:16])
+	n := binary.LittleEndian.Uint32(data[16:sigHeader])
 	if bs == 0 {
 		return s, fmt.Errorf("delta: zero block size in signature")
 	}
@@ -199,21 +196,32 @@ func DecodeSignature(data []byte) (Signature, error) {
 	if int64(n) != want {
 		return s, fmt.Errorf("delta: signature has %d blocks, file size implies %d", n, want)
 	}
+	if len(data)-sigHeader != int(n)*(4+16) {
+		return s, fmt.Errorf("delta: signature body is %d bytes, %d blocks imply %d",
+			len(data)-sigHeader, n, int(n)*(4+16))
+	}
+	if n > 0 {
+		s.Blocks = make([]BlockSig, n)
+	}
+	off := sigHeader
 	for i := uint32(0); i < n; i++ {
-		blk := BlockSig{Index: int(i), Size: s.BlockSize}
+		blk := &s.Blocks[i]
+		blk.Index = int(i)
+		blk.Size = s.BlockSize
 		if rem := s.FileSize - int64(i)*int64(bs); rem < int64(blk.Size) {
 			blk.Size = int(rem)
 		}
-		if err := binary.Read(r, binary.LittleEndian, &blk.Weak); err != nil {
-			return s, fmt.Errorf("delta: block %d weak: %w", i, err)
-		}
-		if _, err := io.ReadFull(r, blk.Strong[:]); err != nil {
-			return s, fmt.Errorf("delta: block %d strong: %w", i, err)
-		}
-		s.Blocks = append(s.Blocks, blk)
-	}
-	if r.Len() != 0 {
-		return s, fmt.Errorf("delta: %d trailing bytes after signature", r.Len())
+		blk.Weak = binary.LittleEndian.Uint32(data[off : off+4])
+		copy(blk.Strong[:], data[off+4:off+20])
+		off += 20
 	}
 	return s, nil
+}
+
+// truncMagic quotes up to the first four bytes for error messages.
+func truncMagic(data []byte) []byte {
+	if len(data) > 4 {
+		return data[:4]
+	}
+	return data
 }

@@ -168,6 +168,72 @@ func (d Delta) WireSize() int {
 	return size
 }
 
+// weakTable is an open-addressed hash table over the signature's
+// full-size blocks, keyed by weak checksum. Equal weak sums chain
+// through next in ascending block order — the same candidate order the
+// map-of-slices form produced, so the first strong match (and with it
+// every emitted copy index) is unchanged. Two flat int32 slices replace
+// the map[uint32][]BlockSig and its per-key slice churn.
+type weakTable struct {
+	mask   uint32
+	slots  []int32 // weak-sum slot → first block index, -1 when empty
+	next   []int32 // block index → next block with the same weak sum
+	blocks []BlockSig
+	count  int
+}
+
+func buildWeakTable(blocks []BlockSig, bs int) (wt weakTable, partial *BlockSig) {
+	size := uint32(4)
+	for int(size) < 2*len(blocks) {
+		size *= 2
+	}
+	wt.mask = size - 1
+	wt.slots = make([]int32, size)
+	for i := range wt.slots {
+		wt.slots[i] = -1
+	}
+	wt.next = make([]int32, len(blocks))
+	wt.blocks = blocks
+	// Insert in reverse so each chain lists blocks in ascending index
+	// order when walked front-to-back.
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if blocks[i].Size != bs {
+			partial = &blocks[i]
+			continue
+		}
+		slot := wt.findSlot(blocks[i].Weak)
+		wt.next[i] = wt.slots[slot]
+		wt.slots[slot] = int32(i)
+		wt.count++
+	}
+	return wt, partial
+}
+
+// findSlot linearly probes to the slot owning weak: either its existing
+// chain head or the first empty slot. The table is at most half full,
+// so probing terminates.
+func (wt *weakTable) findSlot(weak uint32) uint32 {
+	// Multiplicative scatter (Knuth's 2^32/φ) — weak sums are two packed
+	// 16-bit sums and cluster badly if used directly.
+	slot := (weak * 2654435761) & wt.mask
+	for {
+		head := wt.slots[slot]
+		if head < 0 || wt.blocks[head].Weak == weak {
+			return slot
+		}
+		slot = (slot + 1) & wt.mask
+	}
+}
+
+// lookup returns the index of the first chained block whose weak sum
+// matches, or -1.
+func (wt *weakTable) lookup(weak uint32) int32 {
+	if wt.count == 0 {
+		return -1
+	}
+	return wt.slots[wt.findSlot(weak)]
+}
+
 // Compute builds the delta that turns the signed basis into target. The
 // scan matches weak checksums first and confirms with the strong hash,
 // exactly as rsync does; on hash collision the strong check rejects the
@@ -181,16 +247,7 @@ func Compute(sig Signature, target []byte) Delta {
 
 	// Index full-size blocks by weak sum; keep the trailing partial
 	// block (if any) aside for tail matching.
-	byWeak := make(map[uint32][]BlockSig, len(sig.Blocks))
-	var partial *BlockSig
-	for i := range sig.Blocks {
-		blk := sig.Blocks[i]
-		if blk.Size == bs {
-			byWeak[blk.Weak] = append(byWeak[blk.Weak], blk)
-		} else {
-			partial = &sig.Blocks[i]
-		}
-	}
+	wt, partial := buildWeakTable(sig.Blocks, bs)
 
 	emitLiteral := func(data []byte) {
 		if len(data) == 0 {
@@ -202,15 +259,15 @@ func Compute(sig Signature, target []byte) Delta {
 
 	litStart := 0
 	i := 0
-	if len(target) >= bs && len(byWeak) > 0 {
+	if len(target) >= bs && wt.count > 0 {
 		w := weakSum(target[:bs])
 		for {
 			matched := -1
-			if cands, ok := byWeak[w]; ok {
+			if cand := wt.lookup(w); cand >= 0 {
 				strong := md5.Sum(target[i : i+bs])
-				for _, c := range cands {
-					if c.Strong == strong {
-						matched = c.Index
+				for ; cand >= 0; cand = wt.next[cand] {
+					if wt.blocks[cand].Strong == strong {
+						matched = wt.blocks[cand].Index
 						break
 					}
 				}

@@ -193,7 +193,7 @@ func (p *Path) Do(exchanges []Exchange, serverTime time.Duration, done func(end 
 	p.tracer.Record("net.session", start, end,
 		obs.Int("exchanges", int64(len(exchanges))),
 		obs.Int("queued_us", (start-asked).Microseconds()))
-	p.clock.At(end, func() {
+	p.clock.Post(end, func() {
 		if done != nil {
 			done(end)
 		}
@@ -263,7 +263,7 @@ func (p *Path) Push(app int, done func(end time.Duration)) time.Duration {
 	start := at
 	at += p.link.RTT/2 + p.link.DownTime(app)
 	p.tracer.Record("net.push", start, at, obs.Int("bytes", int64(app)))
-	p.clock.At(at, func() {
+	p.clock.Post(at, func() {
 		if done != nil {
 			done(at)
 		}

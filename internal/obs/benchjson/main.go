@@ -7,12 +7,23 @@
 //
 // With -raw, pairing is skipped and every benchmark result on stdin is
 // emitted as-is — the mode make bench-core uses to record the core
-// experiment-table baseline into BENCH_core.json.
+// experiment-table baseline into BENCH_core.json. Custom metric units
+// (testing.B ReportMetric style, e.g. "123 peak-rss-bytes") are
+// captured into each entry's "extra" map.
+//
+// With -compare OLD NEW, two -raw reports are diffed instead: every
+// benchmark present in both is checked for allocs/op and ns/op
+// regressions beyond -tolerance-pct (allocations are the tracked
+// budget, so the default tolerance for them is tight; ns/op is
+// machine-dependent and only reported). Exit codes follow the tuediff
+// convention: 0 = within tolerance, 1 = regression or benchmark-set
+// drift, 2 = usage or I/O error.
 //
 // Usage:
 //
 //	go test -bench 'ObsO(ff|n)$' -benchmem ./... | go run ./internal/obs/benchjson > BENCH_obs.json
 //	go test -bench . -benchmem -benchtime 1x . | go run ./internal/obs/benchjson -raw > BENCH_core.json
+//	go run ./internal/obs/benchjson -compare BENCH_core.json new.json -tolerance-pct 10
 package main
 
 import (
@@ -30,6 +41,8 @@ import (
 type result struct {
 	nsPerOp     float64
 	allocsPerOp int64
+	bytesPerOp  int64
+	extra       map[string]float64
 }
 
 // pair is the JSON record for one Off/On benchmark pair. OverheadPct
@@ -50,11 +63,14 @@ type report struct {
 }
 
 // rawEntry is one benchmark result in -raw mode: no Off/On pairing,
-// just the measured figures under the benchmark's own name.
+// just the measured figures under the benchmark's own name. Extra
+// holds custom metric units ("peak-rss-bytes", "tue-dropbox", ...).
 type rawEntry struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 type rawReport struct {
@@ -80,12 +96,25 @@ func parseLine(line string) (name string, r result, ok bool) {
 		if err != nil {
 			continue
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "ns/op":
 			r.nsPerOp = v
 			ok = true
 		case "allocs/op":
 			r.allocsPerOp = int64(v)
+		case "B/op":
+			r.bytesPerOp = int64(v)
+		case "MB/s":
+			// throughput is derivable from ns/op; skip
+		default:
+			// A custom metric unit (testing.B ReportMetric convention):
+			// all-lowercase with dashes, to avoid swallowing stray prose.
+			if unit == strings.ToLower(unit) && !strings.ContainsAny(unit, "/:;,.") {
+				if r.extra == nil {
+					r.extra = make(map[string]float64)
+				}
+				r.extra[unit] = v
+			}
 		}
 	}
 	return name, r, ok
@@ -94,7 +123,15 @@ func parseLine(line string) (name string, r result, ok bool) {
 func main() {
 	raw := flag.Bool("raw", false,
 		"emit every benchmark result as-is instead of pairing <Base>Off/<Base>On")
+	compare := flag.Bool("compare", false,
+		"compare two -raw reports (OLD NEW file args) instead of reading stdin")
+	tolerance := flag.Float64("tolerance-pct", 10,
+		"allowed allocs/op regression in -compare mode, percent")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tolerance))
+	}
 
 	results := map[string]result{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -147,6 +184,118 @@ func main() {
 	}
 }
 
+// runCompare diffs two -raw reports. allocs/op is the enforced budget:
+// a benchmark whose allocation count grew more than tolerancePct over
+// the old report is a regression. ns/op changes and allocation
+// improvements are reported but never fail. Benchmarks present in only
+// one report are drift too — a renamed or dropped benchmark silently
+// invalidates the baseline. Returns the process exit code: 0 within
+// tolerance, 1 regression/drift, 2 usage or I/O error.
+func runCompare(args []string, tolerancePct float64) int {
+	// The flag package stops at the first positional argument, so
+	// accept `-tolerance-pct N` after the file pair too.
+	var files []string
+	for i := 0; i < len(args); i++ {
+		if a := strings.TrimLeft(args[i], "-"); a == "tolerance-pct" && strings.HasPrefix(args[i], "-") {
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -tolerance-pct needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -tolerance-pct %q\n", args[i+1])
+				return 2
+			}
+			tolerancePct = v
+			i++
+			continue
+		}
+		files = append(files, args[i])
+	}
+	args = files
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two file arguments: OLD NEW")
+		return 2
+	}
+	old, err := readRawReport(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	new_, err := readRawReport(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	oldNames := make([]string, 0, len(old))
+	for name := range old {
+		oldNames = append(oldNames, name)
+	}
+	sort.Strings(oldNames)
+
+	exit := 0
+	for _, name := range oldNames {
+		o := old[name]
+		n, ok := new_[name]
+		if !ok {
+			fmt.Printf("DRIFT   %-40s missing from %s\n", name, args[1])
+			exit = 1
+			continue
+		}
+		switch {
+		case o.AllocsPerOp == 0 && n.AllocsPerOp == 0:
+			fmt.Printf("ok      %-40s 0 allocs/op in both\n", name)
+		case o.AllocsPerOp == 0:
+			fmt.Printf("REGRESS %-40s allocs/op 0 → %d\n", name, n.AllocsPerOp)
+			exit = 1
+		default:
+			pct := float64(n.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp) * 100
+			switch {
+			case pct > tolerancePct:
+				fmt.Printf("REGRESS %-40s allocs/op %d → %d (%+.1f%% > %.1f%%)\n",
+					name, o.AllocsPerOp, n.AllocsPerOp, pct, tolerancePct)
+				exit = 1
+			case pct < 0:
+				fmt.Printf("improve %-40s allocs/op %d → %d (%.1f%%)\n",
+					name, o.AllocsPerOp, n.AllocsPerOp, pct)
+			default:
+				fmt.Printf("ok      %-40s allocs/op %d → %d (%+.1f%%)\n",
+					name, o.AllocsPerOp, n.AllocsPerOp, pct)
+			}
+		}
+	}
+	newNames := make([]string, 0, len(new_))
+	for name := range new_ {
+		if _, ok := old[name]; !ok {
+			newNames = append(newNames, name)
+		}
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		fmt.Printf("DRIFT   %-40s new benchmark, not in %s\n", name, args[0])
+		exit = 1
+	}
+	return exit
+}
+
+// readRawReport loads a -raw JSON report as name → entry.
+func readRawReport(path string) (map[string]rawEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep rawReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]rawEntry, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
 // emitRaw writes every parsed benchmark, sorted by name. Wall-clock
 // figures are machine-dependent; the baseline's value is the allocation
 // counts and the relative shape, not absolute nanoseconds.
@@ -157,6 +306,8 @@ func emitRaw(results map[string]result) {
 			Name:        name,
 			NsPerOp:     r.nsPerOp,
 			AllocsPerOp: r.allocsPerOp,
+			BytesPerOp:  r.bytesPerOp,
+			Extra:       r.extra,
 		})
 	}
 	if len(rep.Benchmarks) == 0 {

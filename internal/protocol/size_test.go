@@ -1,0 +1,62 @@
+package protocol
+
+import "testing"
+
+// TestAnalyticSizesMatchEncoder pins every Size* helper to the real
+// codec: the helper must report exactly len(Encode(m)) for the message
+// it models, across the field shapes the sync client composes.
+func TestAnalyticSizesMatchEncoder(t *testing.T) {
+	names := []string{"", "a", "u/alice/file000123", "日本語ファイル"}
+	counts := []int{0, 1, 7, 1024}
+
+	for _, name := range names {
+		for _, n := range counts {
+			m := &IndexUpdate{Name: name, Size: 123, BlockHashes: make([]Fingerprint, n)}
+			if got, want := SizeIndexUpdate(name, n), len(Encode(m)); got != want {
+				t.Errorf("SizeIndexUpdate(%q, %d) = %d, want %d", name, n, got, want)
+			}
+		}
+		if got, want := SizeNotify(name), len(Encode(&Notify{FileID: 1, Version: 2, Name: name})); got != want {
+			t.Errorf("SizeNotify(%q) = %d, want %d", name, got, want)
+		}
+		if got, want := SizeGet(name), len(Encode(&Get{Name: name})); got != want {
+			t.Errorf("SizeGet(%q) = %d, want %d", name, got, want)
+		}
+	}
+	for _, n := range counts {
+		m := &IndexReply{NeedBlocks: make([]uint32, n)}
+		if got, want := SizeIndexReply(n), len(Encode(m)); got != want {
+			t.Errorf("SizeIndexReply(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got, want := SizeCommit(), len(Encode(&Commit{FileID: 9, Version: 4})); got != want {
+		t.Errorf("SizeCommit() = %d, want %d", got, want)
+	}
+	if got, want := SizeAck(), len(Encode(&Ack{OK: true})); got != want {
+		t.Errorf("SizeAck() = %d, want %d", got, want)
+	}
+	if got, want := SizeDelete(), len(Encode(&Delete{FileID: 3})); got != want {
+		t.Errorf("SizeDelete() = %d, want %d", got, want)
+	}
+}
+
+// BenchmarkSizeIndexUpdate documents why the analytic helpers exist:
+// the EncodedSize path allocates a buffer (and the caller a throwaway
+// fingerprint slice) per call, the analytic path nothing.
+func BenchmarkSizeIndexUpdate(b *testing.B) {
+	b.Run("encoded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = EncodedSize(&IndexUpdate{
+				Name: "u/alice/file000123", Size: 4096,
+				BlockHashes: make([]Fingerprint, 16),
+			})
+		}
+	})
+	b.Run("analytic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = SizeIndexUpdate("u/alice/file000123", 16)
+		}
+	})
+}

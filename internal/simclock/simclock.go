@@ -7,10 +7,16 @@
 // spans hours of simulated time completes in microseconds of wall time
 // and is bit-for-bit reproducible: events that share a firing time run
 // in the order they were scheduled.
+//
+// The event queue is a hand-rolled binary heap over a slice of event
+// values rather than container/heap over pointers: a trace replay
+// schedules hundreds of thousands of events, and the value heap makes
+// the handle-free Post/PostDelay path allocation-free per event. At and
+// Schedule still return a *Timer handle (one small allocation) for
+// callers that need cancellation.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -19,7 +25,7 @@ import (
 // construct with New.
 type Clock struct {
 	now    time.Duration
-	events eventHeap
+	events []event // binary min-heap ordered by (at, seq)
 	seq    uint64
 	// running guards against re-entrant Run calls, which would corrupt
 	// the event loop's notion of "current event".
@@ -41,33 +47,36 @@ func (c *Clock) Now() time.Duration {
 // Timer is a handle to a scheduled event. It can be stopped before it
 // fires.
 type Timer struct {
-	ev *event
+	canceled bool
+	fired    bool
 }
 
 // Stop cancels the timer. It reports whether the call prevented the
 // event from firing: false means the event already ran or was already
 // stopped.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fired {
+	if t == nil || t.canceled || t.fired {
 		return false
 	}
-	t.ev.canceled = true
+	t.canceled = true
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && !t.ev.fired
+	return t != nil && !t.canceled && !t.fired
 }
 
+// event is one heap entry. timer is nil for handle-free events (Post),
+// which is what makes the hot scheduling path allocation-free.
 type event struct {
-	at       time.Duration
-	seq      uint64
-	fn       func()
-	canceled bool
-	fired    bool
-	index    int
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	timer *Timer
 }
+
+func (e *event) canceled() bool { return e.timer != nil && e.timer.canceled }
 
 // Schedule arranges for fn to run at Now()+delay. A negative delay is
 // treated as zero (fire on the next Step). fn must not be nil.
@@ -81,29 +90,52 @@ func (c *Clock) Schedule(delay time.Duration, fn func()) *Timer {
 // At arranges for fn to run at absolute virtual time t. Scheduling in
 // the past is clamped to the present. fn must not be nil.
 func (c *Clock) At(t time.Duration, fn func()) *Timer {
+	tm := &Timer{}
+	c.push(t, fn, tm)
+	return tm
+}
+
+// Post arranges for fn to run at absolute virtual time t, exactly like
+// At, but returns no Timer handle and therefore performs no per-event
+// allocation — the form the experiment schedulers use when fanning a
+// trace's worth of operations onto the clock.
+func (c *Clock) Post(t time.Duration, fn func()) {
+	c.push(t, fn, nil)
+}
+
+// PostDelay is the handle-free form of Schedule: fn runs at Now()+delay.
+func (c *Clock) PostDelay(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.push(c.now+delay, fn, nil)
+}
+
+func (c *Clock) push(t time.Duration, fn func(), tm *Timer) {
 	if fn == nil {
-		panic("simclock: At called with nil function")
+		panic("simclock: scheduling a nil function")
 	}
 	if t < c.now {
 		t = c.now
 	}
-	ev := &event{at: t, seq: c.seq, fn: fn}
+	c.events = append(c.events, event{at: t, seq: c.seq, fn: fn, timer: tm})
 	c.seq++
-	heap.Push(&c.events, ev)
-	return &Timer{ev: ev}
+	c.siftUp(len(c.events) - 1)
 }
 
 // Step executes the single earliest pending event, advancing virtual
 // time to its firing time. It reports whether an event ran; false means
 // the queue was empty.
 func (c *Clock) Step() bool {
-	for c.events.Len() > 0 {
-		ev := heap.Pop(&c.events).(*event)
-		if ev.canceled {
+	for len(c.events) > 0 {
+		ev := c.pop()
+		if ev.canceled() {
 			continue
 		}
 		c.now = ev.at
-		ev.fired = true
+		if ev.timer != nil {
+			ev.timer.fired = true
+		}
 		ev.fn()
 		return true
 	}
@@ -147,8 +179,8 @@ func (c *Clock) RunUntil(deadline time.Duration) {
 // Pending reports the number of scheduled, non-canceled events.
 func (c *Clock) Pending() int {
 	n := 0
-	for _, ev := range c.events {
-		if !ev.canceled {
+	for i := range c.events {
+		if !c.events[i].canceled() {
 			n++
 		}
 	}
@@ -156,10 +188,10 @@ func (c *Clock) Pending() int {
 }
 
 func (c *Clock) peek() *event {
-	for c.events.Len() > 0 {
-		ev := c.events[0]
-		if ev.canceled {
-			heap.Pop(&c.events)
+	for len(c.events) > 0 {
+		ev := &c.events[0]
+		if ev.canceled() {
+			c.pop()
 			continue
 		}
 		return ev
@@ -172,36 +204,55 @@ func (c *Clock) String() string {
 	return fmt.Sprintf("simclock(now=%v pending=%d)", c.now, c.Pending())
 }
 
-// eventHeap orders events by (firing time, scheduling sequence) so that
-// simultaneous events run in FIFO order.
-type eventHeap []*event
+// --- binary min-heap over event values, ordered by (at, seq) ---
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (c *Clock) less(i, j int) bool {
+	a, b := &c.events[i], &c.events[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (c *Clock) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			break
+		}
+		c.events[i], c.events[parent] = c.events[parent], c.events[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+func (c *Clock) siftDown(i int) {
+	n := len(c.events)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && c.less(r, l) {
+			min = r
+		}
+		if !c.less(min, i) {
+			return
+		}
+		c.events[i], c.events[min] = c.events[min], c.events[i]
+		i = min
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+// pop removes and returns the earliest event.
+func (c *Clock) pop() event {
+	ev := c.events[0]
+	n := len(c.events) - 1
+	c.events[0] = c.events[n]
+	c.events[n] = event{} // release the closure for GC
+	c.events = c.events[:n]
+	if n > 0 {
+		c.siftDown(0)
+	}
 	return ev
 }

@@ -35,6 +35,7 @@ func Analyze(recs []Record) Stats {
 	var orig, comp metrics.Distribution
 	var small, smallComp, compressible, modified int
 	var dupCounter dedup.RatioCounter
+	dupCounter.Reserve(len(recs))
 	for _, r := range recs {
 		users[r.User] = true
 		orig.Add(float64(r.OriginalSize))
@@ -103,6 +104,14 @@ func batchableSmallFraction(recs []Record) float64 {
 // granularity (Fig. 5); blockSize 0 means full-file granularity.
 func DedupRatio(recs []Record, blockSize int) float64 {
 	var rc dedup.RatioCounter
+	units := int64(len(recs))
+	if blockSize != 0 {
+		units = 0
+		for _, r := range recs {
+			units += r.NumBlocks(blockSize)
+		}
+	}
+	rc.Reserve(int(units))
 	for _, r := range recs {
 		if blockSize == 0 {
 			rc.Add(r.FullHash(), r.OriginalSize)

@@ -118,16 +118,19 @@ func (r Record) BlockHash(blockSize int, idx int64) [md5.Size]byte {
 }
 
 func hashOf(kind string, id, a, b int64) [md5.Size]byte {
-	var buf [8 * 3]byte
-	binary.LittleEndian.PutUint64(buf[0:], uint64(id))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(a))
-	binary.LittleEndian.PutUint64(buf[16:], uint64(b))
-	h := md5.New()
-	h.Write([]byte(kind))
-	h.Write(buf[:])
-	var out [md5.Size]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	// One stack buffer fed to md5.Sum keeps this allocation-free; the
+	// bytes hashed (kind followed by the three little-endian values) are
+	// identical to streaming them through a digest, so the fingerprints
+	// are unchanged. kind is at most 4 bytes ("file"/"blk").
+	if len(kind) > 4 {
+		panic(fmt.Sprintf("trace: hashOf kind %q longer than 4 bytes", kind))
+	}
+	var buf [4 + 8*3]byte
+	n := copy(buf[:4], kind)
+	binary.LittleEndian.PutUint64(buf[n:], uint64(id))
+	binary.LittleEndian.PutUint64(buf[n+8:], uint64(a))
+	binary.LittleEndian.PutUint64(buf[n+16:], uint64(b))
+	return md5.Sum(buf[:n+24])
 }
 
 // serviceQuota mirrors Table 2.

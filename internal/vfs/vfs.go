@@ -90,7 +90,21 @@ func (f *File) EditsSince(gen uint64) []chunker.Range {
 	if f.created > gen {
 		return []chunker.Range{{Off: 0, Len: f.blob.Size()}}
 	}
-	var all []chunker.Range
+	n, contributing := 0, 0
+	var only []chunker.Range
+	for _, e := range f.edits {
+		if e.gen > gen {
+			n += len(e.ranges)
+			contributing++
+			only = e.ranges
+		}
+	}
+	if contributing == 1 {
+		// Stored edits are normalized (addEdit receives Normalize
+		// output), so a single contributing edit needs no copy or merge.
+		return only
+	}
+	all := make([]chunker.Range, 0, n)
 	for _, e := range f.edits {
 		if e.gen > gen {
 			all = append(all, e.ranges...)
