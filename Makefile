@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-obs bench-core bench-scale bench-diff tuebench
+.PHONY: check build vet test race bench bench-obs bench-core bench-scale bench-diff bench-load bench-load-diff tuebench
 
 # check is the full gate: compile everything, vet, and run the test
 # suite under the race detector (the experiment layer is concurrent).
@@ -57,6 +57,28 @@ bench-diff:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . \
 		| $(GO) run ./internal/obs/benchjson -raw > /tmp/bench_core_new.json
 	$(GO) run ./internal/obs/benchjson -compare BENCH_core.json /tmp/bench_core_new.json -tolerance-pct 10
+
+# bench-load records the live-sync throughput baseline: syncload drives
+# open-loop arrivals of small-file batches against an in-process syncd
+# over real TCP in all three modes (lockstep, pipelined, bundle) at a
+# rate past lockstep saturation, verifying ledger exactness as it goes,
+# and writes sustained req/s, latency quantiles, and peak RSS per mode
+# into BENCH_load.json. The headline is the shape: the batched paths
+# must sustain a multiple of lockstep's files/s at equal-or-better p99.
+SYNCLOAD_ARGS = -accounts 256 -rate 8000 -duration 4s -batch 8 \
+	-max-size 4096 -seed 1 -check -quiet
+
+bench-load:
+	$(GO) run ./cmd/syncload $(SYNCLOAD_ARGS) -json BENCH_load.json
+	cat BENCH_load.json
+
+# bench-load-diff re-runs the load scenario and diffs it against the
+# committed BENCH_load.json: a sustained-throughput drop or p99 growth
+# beyond the tolerance fails. Load numbers are noisier than allocation
+# counts, hence the loose tolerance; CI runs this warn-only.
+bench-load-diff:
+	$(GO) run ./cmd/syncload $(SYNCLOAD_ARGS) -json /tmp/bench_load_new.json
+	$(GO) run ./internal/obs/benchjson -compare BENCH_load.json /tmp/bench_load_new.json -tolerance-pct 30
 
 tuebench:
 	$(GO) run ./cmd/tuebench -quick

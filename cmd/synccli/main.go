@@ -7,6 +7,7 @@
 //	synccli -user alice get remote.txt local-copy.txt
 //	synccli -user alice rm remote.txt
 //	synccli -retries 5 put big.bin remote.bin     # reconnect + resume
+//	synccli -bundle put a.txt b.txt c.txt         # batch in one exchange
 //	synccli -trace out.json -report put a.txt b   # spans + summary tree
 //
 // -trace writes the operation's span tree in Chrome trace_event format
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"cloudsync/internal/comp"
@@ -34,6 +36,11 @@ commands:
   get <remote> <local>   download a file
   rm  <remote>           delete a file (after syncing it this session)
 
+with -bundle, put takes any number of local files and uploads them as a
+single bundled exchange, stored under their base names:
+
+  synccli -bundle put a.txt b.txt c.txt
+
 flags:
 `)
 	flag.PrintDefaults()
@@ -46,6 +53,7 @@ func main() {
 		user      = flag.String("user", "alice", "account name")
 		device    = flag.String("device", "cli", "device name")
 		compress  = flag.Bool("compress", true, "compress uploads (must match syncd)")
+		bundle    = flag.Bool("bundle", false, "put: upload all named local files as one bundled exchange")
 		retries   = flag.Int("retries", 1, "attempts per operation (reconnect + resume on failure)")
 		retryBase = flag.Duration("retry-base", 200*time.Millisecond, "initial reconnect backoff")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event file of this run's spans")
@@ -116,6 +124,36 @@ func main() {
 
 	switch args[0] {
 	case "put":
+		if *bundle {
+			if len(args) < 2 {
+				usage()
+			}
+			files := make([]syncnet.FileUpload, 0, len(args)-1)
+			for _, path := range args[1:] {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					fail(err)
+				}
+				files = append(files, syncnet.FileUpload{Name: filepath.Base(path), Data: data})
+			}
+			stats, err := c.UploadBundle(files)
+			if err != nil {
+				fail(err)
+			}
+			for i, st := range stats {
+				if st.DedupHit {
+					fmt.Printf("put %s: bundled, deduplicated (v%d)\n", files[i].Name, st.Version)
+				} else {
+					fmt.Printf("put %s: bundled (v%d, %d payload bytes)\n",
+						files[i].Name, st.Version, st.PayloadBytes)
+				}
+			}
+			if stats[0].Attempts > 1 {
+				fmt.Printf("put: bundle took %d attempts\n", stats[0].Attempts)
+			}
+			finish()
+			return
+		}
 		if len(args) != 3 {
 			usage()
 		}

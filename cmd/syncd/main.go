@@ -37,7 +37,9 @@ func main() {
 		compress  = flag.Bool("compress", true, "compress content on the wire and at rest")
 		crossUser = flag.Bool("cross-user-dedup", false, "share the dedup index across accounts")
 		blockSize = flag.Int("block-size", 0, "delta-sync granularity in bytes (0 = default 8 KiB)")
-		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+		inflight  = flag.Int("max-inflight", 0,
+			"requests read ahead per connection for pipelined clients (0 = default, 1 ≈ lockstep)")
+		quiet = flag.Bool("quiet", false, "suppress per-request logging")
 
 		faultBytes = flag.Int64("fault-drop-bytes", 0,
 			"cut each connection after ~this many bytes (0 = no fault injection)")
@@ -53,6 +55,7 @@ func main() {
 	cfg := syncnet.ServerConfig{
 		BlockSize:      *blockSize,
 		CrossUserDedup: *crossUser,
+		MaxInflight:    *inflight,
 	}
 	if *compress {
 		cfg.Compression = comp.High

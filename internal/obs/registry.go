@@ -127,6 +127,54 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values
+// by log-linear interpolation within the power-of-two bucket holding
+// the target rank: exact to within the bucket's width, which on this
+// scale means a bounded ~2× relative error in the worst case and far
+// less in practice — good enough to separate a p99 regression from
+// noise without per-sample storage. Returns 0 on a nil or empty
+// histogram; ranks landing in the +Inf bucket report the largest
+// finite bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := 0; i <= HistBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= HistBuckets {
+				return BucketBound(HistBuckets - 1)
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			// Linear interpolation of the rank's position within the
+			// bucket's value range.
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + int64(frac*float64(hi-lo)+0.5)
+		}
+		cum += n
+	}
+	return BucketBound(HistBuckets - 1)
+}
+
 // metricKind tags a registered name for rendering.
 type metricKind uint8
 

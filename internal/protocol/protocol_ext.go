@@ -1,11 +1,6 @@
 package protocol
 
-import (
-	"bytes"
-	"encoding/binary"
-	"fmt"
-	"io"
-)
+import "fmt"
 
 // Extended message types used by the live sync service (internal/syncnet):
 // content retrieval, rsync-style incremental updates, and error
@@ -93,96 +88,87 @@ const (
 	ErrInternal
 )
 
-func (m *Get) encodeBody(b *bytes.Buffer) { putString(b, m.Name) }
+func (m *Get) encodeBody(e *encBuf) { e.str(m.Name) }
 
-func (m *Get) decodeBody(r *bytes.Reader) (err error) {
-	m.Name, err = getString(r)
+func (m *Get) decodeBody(d *decBuf) (err error) {
+	m.Name, err = d.str()
 	return err
 }
 
-func (m *FileInfo) encodeBody(b *bytes.Buffer) {
-	binary.Write(b, binary.LittleEndian, m.FileID)
-	putString(b, m.Name)
-	binary.Write(b, binary.LittleEndian, m.Size)
-	binary.Write(b, binary.LittleEndian, m.Version)
-	b.WriteByte(m.Compression)
+func (m *FileInfo) encodeBody(e *encBuf) {
+	e.u64(m.FileID)
+	e.str(m.Name)
+	e.i64(m.Size)
+	e.u64(m.Version)
+	e.u8(m.Compression)
 }
 
-func (m *FileInfo) decodeBody(r *bytes.Reader) (err error) {
-	if err = binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
+func (m *FileInfo) decodeBody(d *decBuf) (err error) {
+	if m.FileID, err = d.u64(); err != nil {
 		return err
 	}
-	if m.Name, err = getString(r); err != nil {
+	if m.Name, err = d.str(); err != nil {
 		return err
 	}
-	if err = binary.Read(r, binary.LittleEndian, &m.Size); err != nil {
+	if m.Size, err = d.i64(); err != nil {
 		return err
 	}
-	if err = binary.Read(r, binary.LittleEndian, &m.Version); err != nil {
+	if m.Version, err = d.u64(); err != nil {
 		return err
 	}
-	m.Compression, err = r.ReadByte()
+	m.Compression, err = d.u8()
 	return err
 }
 
-func (m *SigRequest) encodeBody(b *bytes.Buffer) {
-	putString(b, m.Name)
-	binary.Write(b, binary.LittleEndian, m.BlockSize)
+func (m *SigRequest) encodeBody(e *encBuf) {
+	e.str(m.Name)
+	e.u32(m.BlockSize)
 }
 
-func (m *SigRequest) decodeBody(r *bytes.Reader) (err error) {
-	if m.Name, err = getString(r); err != nil {
+func (m *SigRequest) decodeBody(d *decBuf) (err error) {
+	if m.Name, err = d.str(); err != nil {
 		return err
 	}
-	return binary.Read(r, binary.LittleEndian, &m.BlockSize)
-}
-
-func encodeNamedPayload(b *bytes.Buffer, name string, payload []byte) {
-	putString(b, name)
-	binary.Write(b, binary.LittleEndian, uint32(len(payload)))
-	b.Write(payload)
-}
-
-func decodeNamedPayload(r *bytes.Reader) (name string, payload []byte, err error) {
-	if name, err = getString(r); err != nil {
-		return "", nil, err
-	}
-	var n uint32
-	if err = binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return "", nil, err
-	}
-	if int(n) > r.Len() {
-		return "", nil, fmt.Errorf("payload length %d exceeds body", n)
-	}
-	payload = make([]byte, n)
-	_, err = io.ReadFull(r, payload)
-	return name, payload, err
-}
-
-func (m *SignatureMsg) encodeBody(b *bytes.Buffer) { encodeNamedPayload(b, m.Name, m.Payload) }
-
-func (m *SignatureMsg) decodeBody(r *bytes.Reader) (err error) {
-	m.Name, m.Payload, err = decodeNamedPayload(r)
+	m.BlockSize, err = d.u32()
 	return err
 }
 
-func (m *DeltaMsg) encodeBody(b *bytes.Buffer) { encodeNamedPayload(b, m.Name, m.Payload) }
+func (m *SignatureMsg) encodeBody(e *encBuf) {
+	e.str(m.Name)
+	e.blob(m.Payload)
+}
 
-func (m *DeltaMsg) decodeBody(r *bytes.Reader) (err error) {
-	m.Name, m.Payload, err = decodeNamedPayload(r)
+func (m *SignatureMsg) decodeBody(d *decBuf) (err error) {
+	if m.Name, err = d.str(); err != nil {
+		return err
+	}
+	m.Payload, err = d.blob()
 	return err
 }
 
-func (m *Error) encodeBody(b *bytes.Buffer) {
-	binary.Write(b, binary.LittleEndian, m.Code)
-	putString(b, m.Msg)
+func (m *DeltaMsg) encodeBody(e *encBuf) {
+	e.str(m.Name)
+	e.blob(m.Payload)
 }
 
-func (m *Error) decodeBody(r *bytes.Reader) (err error) {
-	if err = binary.Read(r, binary.LittleEndian, &m.Code); err != nil {
+func (m *DeltaMsg) decodeBody(d *decBuf) (err error) {
+	if m.Name, err = d.str(); err != nil {
 		return err
 	}
-	m.Msg, err = getString(r)
+	m.Payload, err = d.blob()
+	return err
+}
+
+func (m *Error) encodeBody(e *encBuf) {
+	e.u32(m.Code)
+	e.str(m.Msg)
+}
+
+func (m *Error) decodeBody(d *decBuf) (err error) {
+	if m.Code, err = d.u32(); err != nil {
+		return err
+	}
+	m.Msg, err = d.str()
 	return err
 }
 

@@ -1,11 +1,5 @@
 package protocol
 
-import (
-	"bytes"
-	"encoding/binary"
-	"io"
-)
-
 // Resume message types: after a connection failure mid-upload, a client
 // asks the server how much of the interrupted transfer it already holds
 // so only the unacknowledged tail is re-sent.
@@ -43,31 +37,31 @@ type ResumeInfo struct {
 // Type implements Message.
 func (*ResumeInfo) Type() MsgType { return TypeResumeInfo }
 
-func (m *ResumeQuery) encodeBody(b *bytes.Buffer) {
-	putString(b, m.Name)
-	binary.Write(b, binary.LittleEndian, m.Size)
-	b.Write(m.FileHash[:])
+func (m *ResumeQuery) encodeBody(e *encBuf) {
+	e.str(m.Name)
+	e.i64(m.Size)
+	e.raw(m.FileHash[:])
 }
 
-func (m *ResumeQuery) decodeBody(r *bytes.Reader) (err error) {
-	if m.Name, err = getString(r); err != nil {
+func (m *ResumeQuery) decodeBody(d *decBuf) (err error) {
+	if m.Name, err = d.str(); err != nil {
 		return err
 	}
-	if err = binary.Read(r, binary.LittleEndian, &m.Size); err != nil {
+	if m.Size, err = d.i64(); err != nil {
 		return err
 	}
-	_, err = io.ReadFull(r, m.FileHash[:])
+	return d.fingerprint(&m.FileHash)
+}
+
+func (m *ResumeInfo) encodeBody(e *encBuf) {
+	e.u64(m.FileID)
+	e.i64(m.Offset)
+}
+
+func (m *ResumeInfo) decodeBody(d *decBuf) (err error) {
+	if m.FileID, err = d.u64(); err != nil {
+		return err
+	}
+	m.Offset, err = d.i64()
 	return err
-}
-
-func (m *ResumeInfo) encodeBody(b *bytes.Buffer) {
-	binary.Write(b, binary.LittleEndian, m.FileID)
-	binary.Write(b, binary.LittleEndian, m.Offset)
-}
-
-func (m *ResumeInfo) decodeBody(r *bytes.Reader) error {
-	if err := binary.Read(r, binary.LittleEndian, &m.FileID); err != nil {
-		return err
-	}
-	return binary.Read(r, binary.LittleEndian, &m.Offset)
 }

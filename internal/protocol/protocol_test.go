@@ -26,6 +26,15 @@ func allMessages() []Message {
 		&Ack{FileID: 7, Version: 3, OK: true},
 		&Notify{FileID: 7, Version: 3, Name: "docs/report.txt"},
 		&Delete{FileID: 9},
+		&Bundle{Entries: []BundleEntry{
+			{Name: "notes/a.txt", Size: 3, FileHash: md5.Sum([]byte("abc")), Payload: []byte("abc")},
+			{Name: "b", Size: 0, FileHash: md5.Sum(nil)},
+		}},
+		&BundleReply{Results: []BundleResult{
+			{FileID: 11, Version: 2, OK: true},
+			{FileID: 12, Version: 1, OK: true, DedupHit: true},
+			{},
+		}},
 	}
 }
 
@@ -57,6 +66,12 @@ func normalize(m Message) Message {
 	case *Data:
 		if len(v.Payload) == 0 {
 			v.Payload = nil
+		}
+	case *Bundle:
+		for i := range v.Entries {
+			if len(v.Entries[i].Payload) == 0 {
+				v.Entries[i].Payload = nil
+			}
 		}
 	}
 	return m

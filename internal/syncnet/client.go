@@ -3,6 +3,8 @@ package syncnet
 import (
 	"crypto/md5"
 	"fmt"
+	"hash"
+	"io"
 	"net"
 
 	"cloudsync/internal/comp"
@@ -10,6 +12,7 @@ import (
 	"cloudsync/internal/obs"
 	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/protocol"
+	"cloudsync/internal/wire"
 )
 
 // UploadStats describes what one Upload cost.
@@ -45,6 +48,15 @@ type Client struct {
 	ids   map[string]uint64
 	known map[string]bool // names known to exist server-side
 
+	// Pooled live-path scratch: enc frames outgoing messages, readBuf
+	// absorbs incoming ones (both from the wire frame pool, returned on
+	// Close), segs is the reusable ledger-segment layout, and digest is
+	// the MD5 state the batched upload paths reuse across files.
+	enc     []byte
+	readBuf []byte
+	segs    []causeSeg
+	digest  hash.Hash
+
 	// tracer, when set via WithTracer, records one span per operation
 	// with children per attempt and per protocol stage, and meters the
 	// client-side wire bytes. Nil keeps the untraced fast path.
@@ -60,9 +72,17 @@ type Client struct {
 	// ledger-total == wireIn+wireOut exact.
 	ledger  *ledger.Ledger
 	charged int64
-	attempt int   // current retry attempt (1-based; 0 during Hello)
-	txHigh  int64 // highest payload offset sent this operation
-	rxHigh  int64 // highest payload offset received this operation
+	attempt int // current retry attempt (1-based; 0 during Hello)
+	// txHigh / rxHigh track, per file, the highest payload offset sent
+	// or received this operation — per file, because a pipelined batch
+	// has several files' Data pieces interleaved in one operation and
+	// each file's re-sends must be attributed independently. Send-side
+	// marks are keyed by the file's position in the operation (0 for
+	// single-file ops), not by wire fileID: a retry that restarts after
+	// the server lost its stash gets a fresh fileID, yet its re-sent
+	// ranges are still retransmits of the same file.
+	txHigh map[uint64]int64
+	rxHigh map[uint64]int64
 }
 
 // WireTotals reports the bytes this client has read from and written to
@@ -149,11 +169,15 @@ func NewClient(conn net.Conn, user, device string, opts ...ClientOption) (*Clien
 		return nil, fmt.Errorf("syncnet: empty user")
 	}
 	c := &Client{
-		conn:   conn,
-		user:   user,
-		device: device,
-		ids:    make(map[string]uint64),
-		known:  make(map[string]bool),
+		conn:    conn,
+		user:    user,
+		device:  device,
+		ids:     make(map[string]uint64),
+		known:   make(map[string]bool),
+		enc:     wire.GetFrame(256),
+		readBuf: wire.GetFrame(1024),
+		txHigh:  make(map[uint64]int64),
+		rxHigh:  make(map[uint64]int64),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -197,6 +221,9 @@ func (c *Client) Close() error {
 			c.charged += resid
 		}
 	}
+	wire.PutFrame(c.enc)
+	wire.PutFrame(c.readBuf)
+	c.enc, c.readBuf = nil, nil
 	return err
 }
 
@@ -205,13 +232,45 @@ func (c *Client) Close() error {
 func (c *Client) send(m protocol.Message) error { return c.sendOn(c.conn, m) }
 
 func (c *Client) sendOn(conn net.Conn, m protocol.Message) error {
-	enc := protocol.Encode(m)
+	enc := protocol.AppendEncode(c.enc[:0], m)
+	c.enc = enc[:0]
 	n, err := conn.Write(enc)
 	c.chargeWrite(m, int64(len(enc)), int64(n))
 	if err != nil {
 		return fmt.Errorf("syncnet: sending %v: %w", m.Type(), err)
 	}
 	return nil
+}
+
+// sendData writes one Data piece as a vectored send: the ~25-byte
+// frame header and body prefix come from the pooled scratch, the
+// payload slice goes to the connection directly — content is never
+// copied into a frame buffer, and on connections that support
+// net.Buffers both land in a single writev. key identifies the file
+// within the current operation for retransmit attribution (0 for
+// single-file operations, the batch position for pipelined ones).
+func (c *Client) sendData(key, fileID uint64, offset int64, payload []byte) error {
+	hdr := protocol.AppendDataHeader(c.enc[:0], fileID, offset, len(payload))
+	c.enc = hdr[:0]
+	n, err := writeVectored(c.conn, hdr, payload)
+	c.chargeDataWrite(key, offset, int64(len(payload)), int64(len(hdr)+len(payload)), n)
+	if err != nil {
+		return fmt.Errorf("syncnet: sending data: %w", err)
+	}
+	return nil
+}
+
+// writeVectored writes hdr then payload through one net.Buffers send,
+// unwrapping the metering layer so the underlying connection can use
+// writev while byte counting still happens exactly once.
+func writeVectored(w io.Writer, hdr, payload []byte) (int64, error) {
+	bufs := net.Buffers{hdr, payload}
+	if mc, ok := w.(*meterConn); ok {
+		n, err := bufs.WriteTo(mc.Conn)
+		*mc.out += n
+		return n, err
+	}
+	return bufs.WriteTo(w)
 }
 
 // chargeWrite attributes the n bytes a write put on the wire. Data
@@ -222,13 +281,26 @@ func (c *Client) chargeWrite(m protocol.Message, total, n int64) {
 	if c.ledger == nil {
 		return
 	}
-	segs := messageSegments(m, total)
+	segs := messageSegments(c.segs[:0], m, total)
 	if d, ok := m.(*protocol.Data); ok {
-		segs = splitDataByHighWater(segs, d, &c.txHigh)
+		segs = splitDataByHighWater(segs, d.Offset, int64(len(d.Payload)), c.txHigh, 0)
 	} else if c.attempt > 1 {
 		segs = retagRetransmit(segs)
 	}
 	c.charged += chargeSegs(c.ledger, segs, n)
+	c.segs = segs[:0]
+}
+
+// chargeDataWrite is chargeWrite for the vectored Data path, which
+// never materializes a protocol.Data value.
+func (c *Client) chargeDataWrite(key uint64, offset, payloadLen, total, n int64) {
+	if c.ledger == nil {
+		return
+	}
+	segs := appendDataSegments(c.segs[:0], total, payloadLen)
+	segs = splitDataByHighWater(segs, offset, payloadLen, c.txHigh, key)
+	c.charged += chargeSegs(c.ledger, segs, n)
+	c.segs = segs[:0]
 }
 
 // chargeRead attributes one fully read message's wire bytes. Download
@@ -238,16 +310,18 @@ func (c *Client) chargeRead(m protocol.Message, consumed int64) {
 	if c.ledger == nil {
 		return
 	}
-	segs := messageSegments(m, consumed)
+	segs := messageSegments(c.segs[:0], m, consumed)
 	if d, ok := m.(*protocol.Data); ok {
-		segs = splitDataByHighWater(segs, d, &c.rxHigh)
+		segs = splitDataByHighWater(segs, d.Offset, int64(len(d.Payload)), c.rxHigh, 0)
 	}
 	c.charged += chargeSegs(c.ledger, segs, consumed)
+	c.segs = segs[:0]
 }
 
 func (c *Client) read() (protocol.Message, error) {
 	in0 := c.wireIn
-	m, err := protocol.ReadMessage(c.conn)
+	m, buf, err := protocol.ReadMessageBuf(c.conn, c.readBuf)
+	c.readBuf = buf
 	if err != nil {
 		return nil, fmt.Errorf("syncnet: reading reply: %w", err)
 	}
@@ -375,9 +449,7 @@ func (c *Client) fullUpload(name string, data []byte, attempt int) (UploadStats,
 			if end > len(payload) {
 				end = len(payload)
 			}
-			if err := c.send(&protocol.Data{
-				FileID: fileID, Offset: int64(off), Payload: payload[off:end],
-			}); err != nil {
+			if err := c.sendData(0, fileID, int64(off), payload[off:end]); err != nil {
 				return stats, err
 			}
 		}

@@ -29,8 +29,9 @@ type causeSeg struct {
 	n     int64
 }
 
-// messageSegments lays out one encoded message (total bytes including
-// the frame header) as attribution segments, by message semantics:
+// messageSegments appends one encoded message's layout (total bytes
+// including the frame header) to dst as attribution segments, by
+// message semantics:
 //
 //	frame header                 → framing
 //	Data: fileID/offset/len      → framing; payload → payload
@@ -38,43 +39,83 @@ type causeSeg struct {
 //	SignatureMsg body            → dedup_probe (block fingerprints)
 //	DeltaMsg: literal op data    → delta_literal; rest → delta_copyref
 //	ResumeQuery / ResumeInfo     → resume
+//	Bundle: per entry name/size  → metadata; hash → dedup_probe;
+//	        length prefixes      → framing; content → payload
 //	everything else              → metadata
 //
-// Segment order approximates wire order; when a write is cut short the
-// clipping is therefore approximately positional, and always exact in
-// total.
-func messageSegments(m protocol.Message, total int64) []causeSeg {
-	segs := []causeSeg{{ledger.Framing, frameHeaderSize}}
+// Appending into a caller-held scratch keeps attribution off the
+// allocator on the live path. Segment order approximates wire order;
+// when a write is cut short the clipping is therefore approximately
+// positional, and always exact in total.
+func messageSegments(dst []causeSeg, m protocol.Message, total int64) []causeSeg {
 	body := total - frameHeaderSize
 	if body < 0 {
-		return []causeSeg{{ledger.Framing, total}}
+		return append(dst, causeSeg{ledger.Framing, total})
 	}
+	if d, ok := m.(*protocol.Data); ok {
+		return appendDataSegments(dst, total, int64(len(d.Payload)))
+	}
+	dst = append(dst, causeSeg{ledger.Framing, frameHeaderSize})
 	switch v := m.(type) {
-	case *protocol.Data:
-		prefix := body - int64(len(v.Payload)) // fileID + offset + length
-		segs = append(segs, causeSeg{ledger.Framing, prefix}, causeSeg{ledger.Payload, int64(len(v.Payload))})
 	case *protocol.IndexUpdate:
 		probe := int64(md5.Size) * int64(1+len(v.BlockHashes))
 		if probe > body {
 			probe = body
 		}
-		segs = append(segs, causeSeg{ledger.Metadata, body - probe}, causeSeg{ledger.DedupProbe, probe})
+		dst = append(dst, causeSeg{ledger.Metadata, body - probe}, causeSeg{ledger.DedupProbe, probe})
 	case *protocol.SignatureMsg:
-		segs = append(segs, causeSeg{ledger.DedupProbe, body})
+		dst = append(dst, causeSeg{ledger.DedupProbe, body})
 	case *protocol.DeltaMsg:
 		lit, err := delta.EncodedLiteralBytes(v.Payload)
 		if err != nil || lit > int64(len(v.Payload)) {
 			lit = 0
 		}
-		segs = append(segs,
+		dst = append(dst,
 			causeSeg{ledger.DeltaCopyRef, body - lit},
 			causeSeg{ledger.DeltaLiteral, lit})
 	case *protocol.ResumeQuery, *protocol.ResumeInfo:
-		segs = append(segs, causeSeg{ledger.Resume, body})
+		dst = append(dst, causeSeg{ledger.Resume, body})
+	case *protocol.Bundle:
+		// Entry-count prefix, then per entry: the identity a lone
+		// IndexUpdate would carry (name+size → metadata, full-file hash →
+		// dedup probe), the payload length prefix (framing, same as a
+		// Data message's envelope), and the content itself.
+		dst = append(dst, causeSeg{ledger.Framing, 4})
+		rest := body - 4
+		for i := range v.Entries {
+			en := &v.Entries[i]
+			meta := int64(4 + len(en.Name) + 8)
+			dst = append(dst,
+				causeSeg{ledger.Metadata, meta},
+				causeSeg{ledger.DedupProbe, md5.Size},
+				causeSeg{ledger.Framing, 4},
+				causeSeg{ledger.Payload, int64(len(en.Payload))})
+			rest -= meta + md5.Size + 4 + int64(len(en.Payload))
+		}
+		if rest > 0 {
+			// Entry layout fell short of the body length — impossible for
+			// a well-formed frame, but the exact-total contract must
+			// survive an accounting bug.
+			dst = append(dst, causeSeg{ledger.Framing, rest})
+		}
 	default:
-		segs = append(segs, causeSeg{ledger.Metadata, body})
+		dst = append(dst, causeSeg{ledger.Metadata, body})
 	}
-	return segs
+	return dst
+}
+
+// appendDataSegments lays out a Data-message frame of total wire bytes
+// whose trailing payloadLen bytes are content: everything ahead of the
+// payload (frame header plus fileID/offset/length prefix) is framing.
+// Shared by the message-based charge path and the vectored send path,
+// which writes the header and payload separately and never materializes
+// a protocol.Data value.
+func appendDataSegments(dst []causeSeg, total, payloadLen int64) []causeSeg {
+	prefix := total - payloadLen
+	if prefix < 0 {
+		prefix, payloadLen = total, 0
+	}
+	return append(dst, causeSeg{ledger.Framing, prefix}, causeSeg{ledger.Payload, payloadLen})
 }
 
 // chargeSegs charges the first n wire bytes of the segment layout and
@@ -122,23 +163,28 @@ func retagRetransmit(segs []causeSeg) []causeSeg {
 	return segs
 }
 
-// splitDataByHighWater replaces the payload segment of a Data message
-// with a retransmit/payload split against the operation's high-water
-// mark (the highest payload offset already sent or received this
-// operation), and advances the mark. Fresh bytes stay payload; bytes at
-// offsets covered before are retransmits.
-func splitDataByHighWater(segs []causeSeg, d *protocol.Data, high *int64) []causeSeg {
-	lo := d.Offset
-	hi := lo + int64(len(d.Payload))
-	resent := *high - lo
+// splitDataByHighWater replaces the payload segment of a Data piece
+// with a retransmit/payload split against the file's high-water mark
+// for this operation (the highest payload offset already sent or
+// received), and advances the mark. Fresh bytes stay payload; bytes at
+// offsets covered before are retransmits. Marks are kept per fileID so
+// a pipelined batch with several files in flight attributes each file's
+// re-sends independently.
+//
+// The rewrite reuses segs' backing array (out grows at most one element
+// past the read cursor), which is safe because the payload segment is
+// always the layout's last.
+func splitDataByHighWater(segs []causeSeg, offset, length int64, highs map[uint64]int64, fileID uint64) []causeSeg {
+	hi := offset + length
+	resent := highs[fileID] - offset
 	if resent < 0 {
 		resent = 0
 	}
-	if resent > hi-lo {
-		resent = hi - lo
+	if resent > length {
+		resent = length
 	}
-	if hi > *high {
-		*high = hi
+	if hi > highs[fileID] {
+		highs[fileID] = hi
 	}
 	if resent == 0 {
 		return segs
@@ -149,7 +195,7 @@ func splitDataByHighWater(segs []causeSeg, d *protocol.Data, high *int64) []caus
 			out = append(out, s)
 			continue
 		}
-		// The piece starts at lo: its first `resent` bytes were sent
+		// The piece starts at offset: its first `resent` bytes were sent
 		// before, the rest are new.
 		out = append(out,
 			causeSeg{ledger.Retransmit, resent},

@@ -2,6 +2,7 @@ package syncnet
 
 import (
 	"io"
+	"net"
 	"sync/atomic"
 
 	"cloudsync/internal/obs"
@@ -18,12 +19,14 @@ type serverObs struct {
 	sessions    *obs.Counter
 	activeConns *obs.Gauge
 
-	uploads    *obs.Counter
-	dedupSkips *obs.Counter
-	deltaSyncs *obs.Counter
-	downloads  *obs.Counter
-	deletes    *obs.Counter
-	resumes    *obs.Counter
+	uploads     *obs.Counter
+	dedupSkips  *obs.Counter
+	deltaSyncs  *obs.Counter
+	downloads   *obs.Counter
+	deletes     *obs.Counter
+	resumes     *obs.Counter
+	bundles     *obs.Counter
+	bundleFiles *obs.Counter
 
 	pendingResumable *obs.Gauge
 	bytesStored      *obs.Gauge
@@ -48,6 +51,9 @@ func newServerObs(reg *obs.Registry) serverObs {
 		deletes:    reg.Counter("syncd_deletes_total", "Fake deletions applied."),
 		resumes:    reg.Counter("syncd_resumes_total", "Interrupted uploads adopted from the pending stash."),
 
+		bundles:     reg.Counter("syncd_bundles_total", "Bundle messages handled (batched small-file uploads)."),
+		bundleFiles: reg.Counter("syncd_bundle_files_total", "Files committed via bundle messages."),
+
 		pendingResumable: reg.Gauge("syncd_pending_resumable", "Stashed partial uploads currently held for resumption."),
 		bytesStored:      reg.Gauge("syncd_bytes_stored", "Unique raw content bytes in the dedup content store."),
 
@@ -71,5 +77,17 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	*cw.n += int64(n)
 	cw.total.Add(int64(n))
 	cw.obsC.Add(int64(n))
+	return n, err
+}
+
+// writeVectored writes hdr then payload in one net.Buffers send — a
+// single writev when the underlying connection supports it — counting
+// the bytes exactly once.
+func (cw *countingWriter) writeVectored(hdr, payload []byte) (int64, error) {
+	bufs := net.Buffers{hdr, payload}
+	n, err := bufs.WriteTo(cw.w)
+	*cw.n += n
+	cw.total.Add(n)
+	cw.obsC.Add(n)
 	return n, err
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,11 +31,23 @@ import (
 	"cloudsync/internal/obs"
 	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/protocol"
+	"cloudsync/internal/wire"
 )
 
 // DataPieceSize is the Data-message payload granularity for content
 // transfer.
 const DataPieceSize = 64 << 10
+
+// DefaultMaxInflight is the per-connection pipelining depth when
+// ServerConfig.MaxInflight is zero: how many fully read requests a
+// connection's reader keeps queued for in-order dispatch while earlier
+// ones are still being handled.
+const DefaultMaxInflight = 32
+
+// drainWriteTimeout bounds how long a draining session may spend
+// flushing replies to a peer that has stopped reading after Close
+// half-closed its connection.
+const drainWriteTimeout = 2 * time.Second
 
 // maxPendingUploads caps the partial-upload buffers the server keeps
 // for resumption; beyond it the oldest stash is evicted (the client
@@ -54,6 +67,13 @@ type ServerConfig struct {
 	BlockSize int
 	// CrossUserDedup shares the full-file dedup index across accounts.
 	CrossUserDedup bool
+	// MaxInflight caps how many fully read requests one connection may
+	// have queued awaiting dispatch (0 = DefaultMaxInflight, 1 ≈
+	// lockstep). Requests are always dispatched — and answered — in
+	// arrival order; the cap only bounds the read-ahead, which is also
+	// the memory bound per connection and the pipelining window a
+	// client may safely use over an unbuffered transport.
+	MaxInflight int
 	// Logf, when set, receives one line per handled request (useful in
 	// syncd; tests leave it nil).
 	Logf func(format string, args ...any)
@@ -90,6 +110,10 @@ type ServerStats struct {
 	Deletes     int64
 	Resumes     int64
 	BytesStored int64
+	// Bundles counts Bundle messages handled; BundledFiles counts the
+	// entries they committed.
+	Bundles      int64
+	BundledFiles int64
 	// PendingResumable is the number of stashed partial uploads
 	// currently held for resumption.
 	PendingResumable int
@@ -185,9 +209,12 @@ func (s *Server) AttachCloser(c io.Closer) {
 }
 
 // Close shuts the server down deterministically: it closes every
-// registered listener and live connection, then waits for all serve
-// loops and connection handlers to return. Safe to call more than
-// once.
+// registered listener, half-closes every live connection's read side
+// so pipelined requests already queued are still dispatched and their
+// replies flushed (bounded by drainWriteTimeout against peers that
+// stopped reading), then waits for all serve loops and connection
+// handlers to return. Transports without a read-side half-close
+// (net.Pipe) are closed outright. Safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -204,7 +231,12 @@ func (s *Server) Close() error {
 		l.Close()
 	}
 	for _, c := range cs {
-		c.Close()
+		if cr, ok := c.(interface{ CloseRead() error }); ok {
+			c.SetWriteDeadline(time.Now().Add(drainWriteTimeout))
+			cr.CloseRead()
+		} else {
+			c.Close()
+		}
 	}
 	s.handlers.Wait()
 	s.mu.Lock()
@@ -301,10 +333,26 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// inboundMsg is one fully read request handed from a connection's
+// reader goroutine to its dispatcher, with the wire bytes it consumed.
+// A read failure travels the same channel as a final sentinel, so the
+// dispatcher sees every successfully read request before the error.
+type inboundMsg struct {
+	msg      protocol.Message
+	consumed int64
+	err      error
+}
+
 // HandleConn runs one client session to completion. It returns nil on
 // clean disconnect (EOF). A session that ends mid-upload — however it
-// ends — stashes the partial buffer so a reconnecting client can
-// resume it with a ResumeQuery.
+// ends — stashes the partial buffers so a reconnecting client can
+// resume them with a ResumeQuery.
+//
+// The connection is pipelined: a reader goroutine keeps it drained up
+// to MaxInflight fully read requests while this goroutine dispatches
+// them strictly in arrival order. Replies therefore come back in
+// request order, which is what lets a pipelining client pair them up
+// without request IDs.
 func (s *Server) HandleConn(conn net.Conn) error {
 	if err := s.register(conn); err != nil {
 		conn.Close()
@@ -312,20 +360,25 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	}
 	defer s.unregister(conn)
 	defer conn.Close()
-	sess := &session{srv: s, conn: conn}
+	sess := &session{srv: s, conn: conn, uploads: make(map[uint64]*pendingUpload)}
 	r := &countingReader{r: conn, n: &s.bytesReceived, sess: &sess.wireIn, obsC: s.om.bytesIn}
 	sess.w = &countingWriter{w: conn, n: &sess.wireOut, total: &s.bytesSent, obsC: s.om.bytesOut}
+	sess.enc = wire.GetFrame(512)
+	defer func() { wire.PutFrame(sess.enc); sess.enc = nil }()
 	// Runs last: once every other defer has finished touching the wire,
 	// sweep the session's unattributed bytes into the ledger.
 	defer sess.settle()
 
-	first, err := protocol.ReadMessage(r)
+	readBuf := wire.GetFrame(4096)
+	first, readBuf, err := protocol.ReadMessageBuf(r, readBuf)
 	if err != nil {
+		wire.PutFrame(readBuf)
 		return fmt.Errorf("syncnet: reading hello: %w", err)
 	}
 	sess.chargeRead(first, sess.wireIn)
 	hello, ok := first.(*protocol.Hello)
 	if !ok {
+		wire.PutFrame(readBuf)
 		sess.sendErr(protocol.ErrBadRequest, "expected hello")
 		return fmt.Errorf("syncnet: first message was %v", first.Type())
 	}
@@ -335,20 +388,64 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	defer sess.finish()
 	defer sess.stash()
 	s.logf("session start user=%s device=%s", hello.User, hello.Device)
-	for {
-		in0 := sess.wireIn
-		msg, err := protocol.ReadMessage(r)
-		if err == io.EOF {
-			return nil
+
+	inflight := s.cfg.MaxInflight
+	if inflight <= 0 {
+		inflight = DefaultMaxInflight
+	}
+	// The reader owns the read buffer, sess.wireIn, and the channel; it
+	// hands each request's consumed byte count through the channel so
+	// the dispatcher never touches wireIn until the reader has exited.
+	queue := make(chan inboundMsg, inflight-1)
+	go func() {
+		defer close(queue)
+		defer func() { wire.PutFrame(readBuf) }()
+		for {
+			in0 := sess.wireIn
+			msg, buf, err := protocol.ReadMessageBuf(r, readBuf)
+			readBuf = buf
+			if err != nil {
+				queue <- inboundMsg{err: err}
+				return
+			}
+			queue <- inboundMsg{msg: msg, consumed: sess.wireIn - in0}
 		}
-		if err != nil {
-			return fmt.Errorf("syncnet: reading message: %w", err)
+	}()
+
+	var readErr, dispatchErr error
+	for in := range queue {
+		if in.err != nil {
+			readErr = in.err
+			break
 		}
-		sess.chargeRead(msg, sess.wireIn-in0)
-		if err := sess.dispatch(msg); err != nil {
-			return err
+		sess.chargeRead(in.msg, in.consumed)
+		if err := sess.dispatch(in.msg); err != nil {
+			dispatchErr = err
+			break
 		}
 	}
+	// Deterministic drain. Every request the reader accepted was either
+	// dispatched above — its reply flushed before the error sentinel
+	// could be reached, since the channel preserves arrival order — or
+	// is discarded here after a dispatch error. Closing the connection
+	// unblocks a reader stuck mid-read; consuming the queue until the
+	// reader closes it joins the goroutine, so wireIn is quiescent for
+	// the deferred finish/settle and no goroutine outlives the session.
+	// Discarded requests are still charged by message semantics; the
+	// settle sweep covers any partial trailing frame.
+	conn.Close()
+	for in := range queue {
+		if in.err == nil {
+			sess.chargeRead(in.msg, in.consumed)
+		}
+	}
+	if dispatchErr != nil {
+		return dispatchErr
+	}
+	if readErr == io.EOF {
+		return nil
+	}
+	return fmt.Errorf("syncnet: reading message: %w", readErr)
 }
 
 // dispatch runs one request through handle, wrapped in its span and
@@ -433,16 +530,21 @@ func (s *Server) FileContent(user, name string) ([]byte, bool) {
 	return append([]byte(nil), f.data...), true
 }
 
-// session is the per-connection state: an in-progress upload, the
-// authenticated user, and the session's observability context (wire
-// byte counters, content-commit total, span).
+// session is the per-connection state: the in-progress uploads (a
+// pipelined client may have several index→data→commit exchanges in
+// flight), the authenticated user, the pooled encode and ledger
+// scratch, and the session's observability context (wire byte
+// counters, content-commit total, span).
 type session struct {
 	srv  *Server
 	conn net.Conn
-	w    io.Writer // conn wrapped with send-side byte counting
+	w    *countingWriter
 	user string
 
-	upload *pendingUpload
+	uploads map[uint64]*pendingUpload // keyed by fileID
+
+	enc  []byte     // pooled frame scratch, reused across replies
+	segs []causeSeg // reusable ledger-segment scratch
 
 	wireIn       int64
 	wireOut      int64
@@ -451,18 +553,40 @@ type session struct {
 	span         *obs.Span
 }
 
-// send encodes and writes one reply, charging the bytes actually
-// written to the server's ledger by message semantics. The server
-// attributes by message type only: unlike the client it cannot know
-// whether a peer's retry made these bytes a retransmission.
+// send encodes one reply into the session's pooled scratch and writes
+// it, charging the bytes actually written to the server's ledger by
+// message semantics. The server attributes by message type only:
+// unlike the client it cannot know whether a peer's retry made these
+// bytes a retransmission.
 func (ss *session) send(m protocol.Message) error {
-	enc := protocol.Encode(m)
+	enc := protocol.AppendEncode(ss.enc[:0], m)
+	ss.enc = enc[:0]
 	n, err := ss.w.Write(enc)
 	if led := ss.srv.cfg.Ledger; led != nil {
-		ss.charged += chargeSegs(led, messageSegments(m, int64(len(enc))), int64(n))
+		segs := messageSegments(ss.segs[:0], m, int64(len(enc)))
+		ss.charged += chargeSegs(led, segs, int64(n))
+		ss.segs = segs[:0]
 	}
 	if err != nil {
 		return fmt.Errorf("syncnet: sending %v: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// sendData writes one download Data piece as a vectored send: header
+// from the pooled scratch, payload slice directly — the content is
+// never copied into a frame buffer.
+func (ss *session) sendData(fileID uint64, offset int64, payload []byte) error {
+	hdr := protocol.AppendDataHeader(ss.enc[:0], fileID, offset, len(payload))
+	ss.enc = hdr[:0]
+	n, err := ss.w.writeVectored(hdr, payload)
+	if led := ss.srv.cfg.Ledger; led != nil {
+		segs := appendDataSegments(ss.segs[:0], int64(len(hdr)+len(payload)), int64(len(payload)))
+		ss.charged += chargeSegs(led, segs, n)
+		ss.segs = segs[:0]
+	}
+	if err != nil {
+		return fmt.Errorf("syncnet: sending data: %w", err)
 	}
 	return nil
 }
@@ -476,7 +600,9 @@ func (ss *session) sendErr(code uint32, msg string) {
 // chargeRead attributes one fully read request's wire bytes.
 func (ss *session) chargeRead(m protocol.Message, consumed int64) {
 	if led := ss.srv.cfg.Ledger; led != nil {
-		ss.charged += chargeSegs(led, messageSegments(m, consumed), consumed)
+		segs := messageSegments(ss.segs[:0], m, consumed)
+		ss.charged += chargeSegs(led, segs, consumed)
+		ss.segs = segs[:0]
 	}
 }
 
@@ -503,14 +629,29 @@ type pendingUpload struct {
 	buf      []byte
 }
 
-// stash preserves an interrupted upload's buffer for resumption. Dedup
+// stash preserves every interrupted upload's buffer for resumption, in
+// fileID order so the FIFO eviction bound stays deterministic. Dedup
 // hits carry no data and empty buffers hold nothing worth resuming.
 func (ss *session) stash() {
-	up := ss.upload
-	if up == nil || up.dedupHit || len(up.buf) == 0 {
+	if len(ss.uploads) == 0 {
 		return
 	}
-	ss.upload = nil
+	ids := make([]uint64, 0, len(ss.uploads))
+	for id := range ss.uploads {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		up := ss.uploads[id]
+		delete(ss.uploads, id)
+		ss.stashOne(up)
+	}
+}
+
+func (ss *session) stashOne(up *pendingUpload) {
+	if up.dedupHit || len(up.buf) == 0 {
+		return
+	}
 	s := ss.srv
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -564,6 +705,8 @@ func (ss *session) handle(msg protocol.Message) error {
 		return ss.onSigRequest(m)
 	case *protocol.DeltaMsg:
 		return ss.onDelta(m)
+	case *protocol.Bundle:
+		return ss.onBundle(m)
 	default:
 		ss.sendErr(protocol.ErrBadRequest, fmt.Sprintf("unexpected %v", msg.Type()))
 		return fmt.Errorf("syncnet: unexpected message %v", msg.Type())
@@ -590,7 +733,7 @@ func (ss *session) onIndexUpdate(m *protocol.IndexUpdate) error {
 	}
 	s.mu.Unlock()
 
-	ss.upload = &pendingUpload{id: id, name: m.Name, size: m.Size, hash: m.FileHash, dedupHit: hit}
+	ss.uploads[id] = &pendingUpload{id: id, name: m.Name, size: m.Size, hash: m.FileHash, dedupHit: hit}
 	return ss.send(&protocol.IndexReply{FileID: id, DedupHit: hit})
 }
 
@@ -603,7 +746,7 @@ func (ss *session) onResumeQuery(m *protocol.ResumeQuery) error {
 	if up == nil {
 		return ss.send(&protocol.ResumeInfo{})
 	}
-	ss.upload = up
+	ss.uploads[up.id] = up
 	s.mu.Lock()
 	s.stats.Resumes++
 	s.om.pendingResumable.Set(int64(len(s.pending)))
@@ -614,25 +757,26 @@ func (ss *session) onResumeQuery(m *protocol.ResumeQuery) error {
 }
 
 func (ss *session) onData(m *protocol.Data) error {
-	if ss.upload == nil || ss.upload.id != m.FileID {
+	up := ss.uploads[m.FileID]
+	if up == nil {
 		ss.sendErr(protocol.ErrBadRequest, "data without matching index update")
 		return fmt.Errorf("syncnet: stray data for file %d", m.FileID)
 	}
-	if int64(m.Offset) != int64(len(ss.upload.buf)) {
+	if int64(m.Offset) != int64(len(up.buf)) {
 		ss.sendErr(protocol.ErrBadRequest, "out-of-order data")
-		return fmt.Errorf("syncnet: data offset %d, expected %d", m.Offset, len(ss.upload.buf))
+		return fmt.Errorf("syncnet: data offset %d, expected %d", m.Offset, len(up.buf))
 	}
-	ss.upload.buf = append(ss.upload.buf, m.Payload...)
+	up.buf = append(up.buf, m.Payload...)
 	return nil
 }
 
 func (ss *session) onCommit(m *protocol.Commit) error {
-	up := ss.upload
-	if up == nil || up.id != m.FileID {
+	up := ss.uploads[m.FileID]
+	if up == nil {
 		ss.sendErr(protocol.ErrBadRequest, "commit without upload")
 		return fmt.Errorf("syncnet: stray commit for file %d", m.FileID)
 	}
-	ss.upload = nil
+	delete(ss.uploads, m.FileID)
 
 	var raw []byte
 	s := ss.srv
@@ -694,6 +838,65 @@ func (ss *session) store(name string, id uint64, raw []byte, hash protocol.Finge
 	return f.version
 }
 
+// onBundle demultiplexes a batched small-file upload: each entry is
+// checked and committed independently — dedup lookup by full-file
+// hash, decompress, size and hash verification, store — and answered
+// in one BundleReply. A bad entry is a soft, per-entry failure (OK
+// stays false); the rest of the bundle still commits, so one corrupt
+// tiny file cannot poison a batch of hundreds.
+func (ss *session) onBundle(m *protocol.Bundle) error {
+	s := ss.srv
+	results := make([]protocol.BundleResult, len(m.Entries))
+	committed := 0
+	for i := range m.Entries {
+		en := &m.Entries[i]
+		res := &results[i]
+
+		s.mu.Lock()
+		f := s.files(ss.user)[en.Name]
+		var id uint64
+		if f != nil {
+			id = f.id
+		} else {
+			s.nextID++
+			id = s.nextID
+		}
+		hit := s.index.Lookup(ss.user, en.FileHash, en.Size)
+		var raw []byte
+		if hit {
+			var ok bool
+			if raw, ok = s.byHash[en.FileHash]; !ok {
+				// Index says yes but content is gone — treat as miss.
+				hit = false
+			}
+		}
+		s.mu.Unlock()
+
+		if !hit {
+			var err error
+			if raw, err = comp.Decompress(en.Payload, s.cfg.Compression); err != nil {
+				s.logf("bundle entry %s/%s: undecodable content", ss.user, en.Name)
+				continue
+			}
+		}
+		if int64(len(raw)) != en.Size || md5.Sum(raw) != en.FileHash {
+			s.logf("bundle entry %s/%s: size or hash mismatch", ss.user, en.Name)
+			continue
+		}
+		version := ss.store(en.Name, id, raw, en.FileHash, hit)
+		res.FileID, res.Version, res.DedupHit, res.OK = id, version, hit, true
+		committed++
+	}
+	s.mu.Lock()
+	s.stats.Bundles++
+	s.stats.BundledFiles += int64(committed)
+	s.mu.Unlock()
+	s.om.bundles.Inc()
+	s.om.bundleFiles.Add(int64(committed))
+	s.logf("bundle: committed %d/%d entries for %s", committed, len(m.Entries), ss.user)
+	return ss.send(&protocol.BundleReply{Results: results})
+}
+
 func (ss *session) onDelete(m *protocol.Delete) error {
 	s := ss.srv
 	s.mu.Lock()
@@ -745,7 +948,7 @@ func (ss *session) onGet(m *protocol.Get) error {
 		if end > len(payload) {
 			end = len(payload)
 		}
-		if err := ss.send(&protocol.Data{FileID: info.FileID, Offset: int64(off), Payload: payload[off:end]}); err != nil {
+		if err := ss.sendData(info.FileID, int64(off), payload[off:end]); err != nil {
 			return err
 		}
 		if len(payload) == 0 {

@@ -1,0 +1,48 @@
+package wire
+
+import "sync"
+
+// Live-path frame buffers.
+//
+// The cost-model half of this package prices framing; this half pools
+// it. The live sync stack (internal/syncnet) encodes every protocol
+// message into a frame buffer and decodes every received frame out of
+// one. Allocating those per message is the dominant steady-state
+// garbage of a chatty session, so sessions check a buffer out of a
+// shared pool once and reuse it for the session's lifetime: one
+// allocation per connection instead of one (or more) per message.
+
+// maxPooledFrame bounds the capacity the pool retains. A session that
+// framed a huge delta or bundle would otherwise pin that high-water
+// buffer forever; oversized buffers are dropped for the GC instead.
+const maxPooledFrame = 1 << 20
+
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 8<<10)
+	return &b
+}}
+
+// GetFrame returns a zero-length frame buffer with capacity at least n,
+// reusing a pooled one when available. Return it with PutFrame when the
+// session ends.
+func GetFrame(n int) []byte {
+	bp := framePool.Get().(*[]byte)
+	b := *bp
+	*bp = nil
+	framePool.Put(bp)
+	if cap(b) < n {
+		b = make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+// PutFrame returns a frame buffer to the pool. Buffers that grew past
+// maxPooledFrame are dropped; nil (and zero-capacity) buffers are
+// ignored, so PutFrame is safe on every exit path.
+func PutFrame(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledFrame {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
+}
