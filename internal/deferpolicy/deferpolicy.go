@@ -67,8 +67,43 @@ func (f Fixed) Delay(time.Duration, int64) time.Duration {
 // Reset implements Policy.
 func (Fixed) Reset() {}
 
-// ASD is the adaptive sync defer mechanism (Eq. 2). The zero value is
-// not usable; construct with NewASD.
+// ASDState is the adaptive estimator's complete state in pure,
+// value-passing form: the previous deferment estimate T_{i−1} and the
+// time of the last observed update. Threading an ASDState through
+// ASDStep is exactly equivalent to driving a stateful *ASD — the
+// pure-function planner (internal/planner) carries one per file across
+// planning rounds, so the defer decision never touches mutable state
+// or a wall clock.
+type ASDState struct {
+	// T is the current deferment estimate T_{i−1}.
+	T time.Duration
+	// LastUpdate is the virtual time of the most recent update.
+	LastUpdate time.Duration
+	// Seen records whether any update has been observed; the first
+	// update has no inter-update interval and contributes Δt = 0.
+	Seen bool
+}
+
+// ASDStep applies the paper's Eq. (2) to one update at virtual time
+// now: T_i = min(T_{i−1}/2 + Δt_i/2 + ε, T_max). It returns the new
+// deferment (the delay to re-arm the sync timer with) and the
+// successor state. The function is pure: equal inputs give equal
+// outputs, which is what makes deferment decisions table-testable.
+func ASDStep(s ASDState, now, epsilon, tmax time.Duration) (time.Duration, ASDState) {
+	var dt time.Duration
+	if s.Seen {
+		dt = now - s.LastUpdate
+	}
+	t := s.T/2 + dt/2 + epsilon
+	if t > tmax {
+		t = tmax
+	}
+	return t, ASDState{T: t, LastUpdate: now, Seen: true}
+}
+
+// ASD is the adaptive sync defer mechanism (Eq. 2), the stateful
+// wrapper around ASDStep. The zero value is not usable; construct with
+// NewASD.
 type ASD struct {
 	// Epsilon keeps the deferment slightly above the inter-update time;
 	// the paper requires ε ∈ (0, 1) seconds.
@@ -76,9 +111,7 @@ type ASD struct {
 	// TMax caps the deferment so idle files do not wait unboundedly.
 	TMax time.Duration
 
-	t          time.Duration // T_{i−1}
-	lastUpdate time.Duration
-	seen       bool
+	state ASDState
 }
 
 // NewASD constructs an adaptive sync defer policy. Epsilon must lie in
@@ -96,20 +129,12 @@ func NewASD(epsilon, tmax time.Duration) *ASD {
 // Name implements Policy.
 func (a *ASD) Name() string { return fmt.Sprintf("asd(ε=%v,Tmax=%v)", a.Epsilon, a.TMax) }
 
-// Delay implements Policy with the paper's update rule.
+// Delay implements Policy with the paper's update rule, by delegating
+// to the pure ASDStep.
 func (a *ASD) Delay(now time.Duration, _ int64) time.Duration {
-	var dt time.Duration
-	if a.seen {
-		dt = now - a.lastUpdate
-	}
-	a.lastUpdate = now
-	a.seen = true
-	t := a.t/2 + dt/2 + a.Epsilon
-	if t > a.TMax {
-		t = a.TMax
-	}
-	a.t = t
-	return t
+	delay, next := ASDStep(a.state, now, a.Epsilon, a.TMax)
+	a.state = next
+	return delay
 }
 
 // Reset implements Policy as a no-op: both the deferment estimate and
@@ -120,7 +145,12 @@ func (a *ASD) Reset() {}
 
 // Current exposes the present deferment estimate T_i (for tests and
 // telemetry).
-func (a *ASD) Current() time.Duration { return a.t }
+func (a *ASD) Current() time.Duration { return a.state.T }
+
+// State exposes the estimator's pure state, so a caller can hand the
+// adaptive estimate across process or planning-round boundaries and
+// resume it with ASDStep.
+func (a *ASD) State() ASDState { return a.state }
 
 // UDS is the byte-counter batching baseline: defer while pending bytes
 // are below Threshold, sync immediately once they reach it. MaxDelay

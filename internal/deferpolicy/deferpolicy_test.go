@@ -200,3 +200,54 @@ func TestUDSMisconfiguredPanics(t *testing.T) {
 	}()
 	UDS{}.Delay(0, 0)
 }
+
+// TestASDStepMatchesStateful pins the refactor contract: replaying an
+// update stream through the pure ASDStep, threading the state by
+// value, produces exactly the delays and estimates the stateful ASD
+// produces — so the pure-function planner and the live client can
+// never disagree about a deferment.
+func TestASDStepMatchesStateful(t *testing.T) {
+	const eps, tmax = 100 * time.Millisecond, 10 * time.Second
+	stateful := NewASD(eps, tmax)
+	var pure ASDState
+	now := time.Duration(0)
+	rng := uint64(12345)
+	for i := 0; i < 200; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		now += time.Duration(rng%5000) * time.Millisecond
+		want := stateful.Delay(now, 0)
+		got, next := ASDStep(pure, now, eps, tmax)
+		pure = next
+		if got != want {
+			t.Fatalf("update %d at %v: ASDStep = %v, stateful ASD = %v", i, now, got, want)
+		}
+		if pure != stateful.State() {
+			t.Fatalf("update %d: state diverged: pure %+v, stateful %+v", i, pure, stateful.State())
+		}
+		if stateful.Current() != pure.T {
+			t.Fatalf("update %d: Current() = %v, pure T = %v", i, stateful.Current(), pure.T)
+		}
+	}
+}
+
+// TestASDStepFixpoint checks the analytic fixpoint of Eq. (2): under a
+// constant inter-update interval Δt, the estimate converges to
+// Δt + 2ε — "slightly above the inter-update time", which is the
+// property that lets ASD keep deferring through a burst.
+func TestASDStepFixpoint(t *testing.T) {
+	const eps, tmax = 50 * time.Millisecond, time.Hour
+	const dt = 2 * time.Second
+	var s ASDState
+	var delay time.Duration
+	now := time.Duration(0)
+	for i := 0; i < 64; i++ {
+		delay, s = ASDStep(s, now, eps, tmax)
+		now += dt
+	}
+	want := dt + 2*eps
+	if diff := delay - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("fixpoint delay = %v, want ≈ %v", delay, want)
+	}
+}

@@ -47,6 +47,11 @@ type Change struct {
 	Path string
 	Op   Op
 	Size int64
+	// ModTime is the file's modification time as of the scan that
+	// observed the change (zero for deletes). Watch-mode deferment
+	// policies feed on it: it is the best local evidence of when the
+	// write actually happened, independent of how late the poll ran.
+	ModTime time.Time
 }
 
 type fileState struct {
@@ -122,9 +127,9 @@ func (w *Watcher) Scan() ([]Change, error) {
 		prev, ok := w.state[path]
 		switch {
 		case !ok:
-			changes = append(changes, Change{Path: path, Op: Create, Size: st.size})
+			changes = append(changes, Change{Path: path, Op: Create, Size: st.size, ModTime: st.modTime})
 		case prev.size != st.size || !prev.modTime.Equal(st.modTime):
-			changes = append(changes, Change{Path: path, Op: Modify, Size: st.size})
+			changes = append(changes, Change{Path: path, Op: Modify, Size: st.size, ModTime: st.modTime})
 		}
 	}
 	for path := range w.state {

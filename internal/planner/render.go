@@ -1,0 +1,62 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatTable renders a plan as a stable, column-aligned text table —
+// the output of `syncwatch -dry-run`, committed as a golden file. The
+// rendering depends only on the plan value, so equal plans produce
+// byte-identical tables.
+func FormatTable(p Output) string {
+	var b strings.Builder
+	rows := make([][4]string, 0, len(p.Actions)+1)
+	rows = append(rows, [4]string{"ACTION", "PATH", "SIZE", "REASON"})
+	counts := make(map[ActionKind]int)
+	for _, a := range p.Actions {
+		counts[a.Kind]++
+		size := "-"
+		if !a.Absent && a.Kind != Delete {
+			size = fmt.Sprintf("%d", a.Size)
+		}
+		reason := a.Reason
+		if a.Kind == Defer {
+			reason = fmt.Sprintf("%s (until t+%v)", reason, a.Until-p.Now)
+		}
+		rows = append(rows, [4]string{a.Kind.String(), a.Path, size, reason})
+	}
+
+	var w [4]int
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %-*s  %*s  %s\n", w[0], r[0], w[1], r[1], w[2], r[2], r[3])
+	}
+
+	kinds := make([]ActionKind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if a, b := kindOrder(kinds[i]), kindOrder(kinds[j]); a != b {
+			return a < b
+		}
+		return kinds[i] < kinds[j]
+	})
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[k], k))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "nothing to do")
+	}
+	fmt.Fprintf(&b, "\n%d action(s): %s\n", len(p.Actions), strings.Join(parts, ", "))
+	return b.String()
+}

@@ -87,6 +87,10 @@ func (t MsgType) String() string {
 		return "bundle"
 	case TypeBundleReply:
 		return "bundle-reply"
+	case TypeListRequest:
+		return "list-request"
+	case TypeListing:
+		return "listing"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -408,6 +412,10 @@ func newMessage(t MsgType) (Message, bool) {
 		return &Bundle{}, true
 	case TypeBundleReply:
 		return &BundleReply{}, true
+	case TypeListRequest:
+		return &ListRequest{}, true
+	case TypeListing:
+		return &Listing{}, true
 	default:
 		return nil, false
 	}

@@ -35,6 +35,13 @@ func allMessages() []Message {
 			{FileID: 12, Version: 1, OK: true, DedupHit: true},
 			{},
 		}},
+		&ListRequest{},
+		&Listing{Entries: []ListEntry{
+			{FileID: 3, Name: "docs/report.txt", Size: 1 << 20, Version: 4,
+				FileHash: md5.Sum([]byte("content"))},
+			{FileID: 9, Name: "old.bin", Size: 12, Version: 2, Deleted: true},
+		}},
+		&Listing{},
 	}
 }
 
@@ -73,8 +80,23 @@ func normalize(m Message) Message {
 				v.Entries[i].Payload = nil
 			}
 		}
+	case *Listing:
+		if len(v.Entries) == 0 {
+			v.Entries = nil
+		}
 	}
 	return m
+}
+
+// TestListingCorruptEntryCount mirrors the bundle corruption check: a
+// forged entry count that cannot fit in the body must fail decoding,
+// not allocate.
+func TestListingCorruptEntryCount(t *testing.T) {
+	enc := Encode(&Listing{Entries: []ListEntry{{FileID: 1, Name: "x"}}})
+	enc[frameHeader] = 0xff // entry-count low byte
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("corrupt listing entry count decoded without error")
+	}
 }
 
 func TestEncodedSizeMatchesEncode(t *testing.T) {

@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,6 +96,7 @@ type serverFile struct {
 	id      uint64
 	name    string
 	data    []byte // raw (uncompressed) content
+	hash    protocol.Fingerprint
 	version uint64
 	deleted bool
 	history int // versions ever stored (fake deletion keeps content)
@@ -707,6 +709,8 @@ func (ss *session) handle(msg protocol.Message) error {
 		return ss.onDelta(m)
 	case *protocol.Bundle:
 		return ss.onBundle(m)
+	case *protocol.ListRequest:
+		return ss.onList(m)
 	default:
 		ss.sendErr(protocol.ErrBadRequest, fmt.Sprintf("unexpected %v", msg.Type()))
 		return fmt.Errorf("syncnet: unexpected message %v", msg.Type())
@@ -818,6 +822,7 @@ func (ss *session) store(name string, id uint64, raw []byte, hash protocol.Finge
 		files[name] = f
 	}
 	f.data = raw
+	f.hash = hash
 	f.version++
 	f.deleted = false
 	f.history++
@@ -895,6 +900,30 @@ func (ss *session) onBundle(m *protocol.Bundle) error {
 	s.om.bundleFiles.Add(int64(committed))
 	s.logf("bundle: committed %d/%d entries for %s", committed, len(m.Entries), ss.user)
 	return ss.send(&protocol.BundleReply{Results: results})
+}
+
+// onList answers with the user's full remote listing — the remote
+// observer of the watch-mode pipeline. Entries are sorted by name so
+// the reply is deterministic for a given state; fake-deleted files are
+// included (flagged) because a planner must distinguish "deleted
+// remotely" from "never existed" when reconciling deletions.
+func (ss *session) onList(*protocol.ListRequest) error {
+	s := ss.srv
+	s.mu.Lock()
+	files := s.files(ss.user)
+	entries := make([]protocol.ListEntry, 0, len(files))
+	for name, f := range files {
+		entries = append(entries, protocol.ListEntry{
+			FileID: f.id, Name: name, Size: int64(len(f.data)),
+			Version: f.version, Deleted: f.deleted, FileHash: f.hash,
+		})
+	}
+	s.mu.Unlock()
+	slices.SortFunc(entries, func(a, b protocol.ListEntry) int {
+		return strings.Compare(a.Name, b.Name)
+	})
+	s.logf("listing: %d entries for %s", len(entries), ss.user)
+	return ss.send(&protocol.Listing{Entries: entries})
 }
 
 func (ss *session) onDelete(m *protocol.Delete) error {
@@ -1003,6 +1032,7 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	f.version++
 	f.history++
 	hash := md5.Sum(raw)
+	f.hash = hash
 	s.index.Add(ss.user, hash, int64(len(raw)))
 	if _, ok := s.byHash[hash]; !ok {
 		s.byHash[hash] = raw

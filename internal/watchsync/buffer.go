@@ -1,0 +1,105 @@
+package watchsync
+
+import (
+	"sort"
+	"time"
+)
+
+// Pending is one coalesced change waiting to be planned: the final
+// disposition of a path (removed or not) plus every write timestamp
+// observed since the path last left the buffer, ascending.
+type Pending struct {
+	Path   string
+	Remove bool
+	Writes []time.Duration
+}
+
+type bufEntry struct {
+	remove bool
+	writes []time.Duration
+	seen   time.Duration // when the most recent event was observed
+}
+
+// Buffer is the debounced change buffer between the observer and the
+// planner. Every event lands here first; a path is released only once
+// it has been quiet for the debounce window, and no matter how many
+// events piled up in that window, the path drains as exactly ONE
+// Pending record. A write-write-rename burst therefore reaches the
+// planner as one record for the new name and one removal for the old —
+// never as a stutter of partial changes.
+//
+// Debounce runs on observation time (when Note was called), not on the
+// events' write timestamps: a startup scan reporting hours-old mtimes
+// still gets one full quiet window before the first plan. Not safe for
+// concurrent use; the pipeline owns it.
+type Buffer struct {
+	// Debounce is the quiet window. Zero releases entries at the next
+	// Drain — coalescing within one poll still applies.
+	Debounce time.Duration
+
+	entries map[string]*bufEntry
+}
+
+// NewBuffer returns an empty buffer with the given quiet window.
+func NewBuffer(debounce time.Duration) *Buffer {
+	return &Buffer{Debounce: debounce, entries: make(map[string]*bufEntry)}
+}
+
+// Note records one observed event at observation time now. Events for
+// one path coalesce: the latest remove/write disposition wins, and
+// write timestamps accumulate in ascending order (out-of-order mtimes
+// are clamped up, so the planner's monotonicity contract always
+// holds).
+func (b *Buffer) Note(ev Event, now time.Duration) {
+	e := b.entries[ev.Path]
+	if e == nil {
+		e = &bufEntry{}
+		b.entries[ev.Path] = e
+	}
+	if ev.Remove {
+		e.remove = true
+		e.writes = nil
+	} else {
+		e.remove = false
+		w := ev.Write
+		if n := len(e.writes); n > 0 && w < e.writes[n-1] {
+			w = e.writes[n-1]
+		}
+		e.writes = append(e.writes, w)
+	}
+	if now > e.seen {
+		e.seen = now
+	}
+}
+
+// Len reports how many paths are currently buffered.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Drain releases every path whose last event is at least the debounce
+// window old, removing it from the buffer. Results are sorted by path.
+func (b *Buffer) Drain(now time.Duration) []Pending {
+	var out []Pending
+	for path, e := range b.entries {
+		if now-e.seen < b.Debounce {
+			continue
+		}
+		out = append(out, Pending{Path: path, Remove: e.remove, Writes: e.writes})
+		delete(b.entries, path)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// NextRelease reports the earliest virtual time at which a currently
+// buffered path becomes drainable (ok=false when the buffer is empty).
+func (b *Buffer) NextRelease() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, e := range b.entries {
+		due := e.seen + b.Debounce
+		if !found || due < min {
+			min, found = due, true
+		}
+	}
+	return min, found
+}

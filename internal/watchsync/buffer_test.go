@@ -1,0 +1,112 @@
+package watchsync
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestBufferCoalescesBurst pins the debounce contract end to end on a
+// fake clock: a write-write-rename burst arriving within one debounce
+// window must drain as exactly one change record per final path — one
+// create for the new name, one removal for the old — never as a
+// stutter of intermediate changes.
+func TestBufferCoalescesBurst(t *testing.T) {
+	b := NewBuffer(500 * time.Millisecond)
+
+	// t=0ms..120ms: two writes to draft.txt, then a rename to final.txt
+	// (which a poll observes as create(final) + delete(draft)).
+	b.Note(Event{Path: "draft.txt", Write: 0}, 0)
+	b.Note(Event{Path: "draft.txt", Write: 60 * time.Millisecond}, 60*time.Millisecond)
+	b.Note(Event{Path: "final.txt", Write: 120 * time.Millisecond}, 120*time.Millisecond)
+	b.Note(Event{Path: "draft.txt", Remove: true}, 120*time.Millisecond)
+
+	// Mid-window: nothing may drain, no matter how often we ask.
+	for _, now := range []time.Duration{200 * time.Millisecond, 400 * time.Millisecond, 619 * time.Millisecond} {
+		if got := b.Drain(now); len(got) != 0 {
+			t.Fatalf("Drain(%v) released %v before the window closed", now, got)
+		}
+	}
+	if due, ok := b.NextRelease(); !ok || due != 620*time.Millisecond {
+		t.Fatalf("NextRelease = (%v, %v), want 620ms", due, ok)
+	}
+
+	got := b.Drain(620 * time.Millisecond)
+	want := []Pending{
+		{Path: "draft.txt", Remove: true},
+		{Path: "final.txt", Writes: []time.Duration{120 * time.Millisecond}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("burst drained as %+v, want %+v", got, want)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("%d entries left after drain", b.Len())
+	}
+	// Draining again must not double-fire.
+	if again := b.Drain(10 * time.Second); len(again) != 0 {
+		t.Fatalf("second drain released %+v — the burst fired twice", again)
+	}
+}
+
+// TestBufferWriteAccumulation: every write in the window lands in the
+// one drained record, ascending, so the planner's deferment policies
+// see the full update history.
+func TestBufferWriteAccumulation(t *testing.T) {
+	b := NewBuffer(100 * time.Millisecond)
+	times := []time.Duration{0, 20 * time.Millisecond, 40 * time.Millisecond, 60 * time.Millisecond}
+	for _, w := range times {
+		b.Note(Event{Path: "f", Write: w}, w)
+	}
+	got := b.Drain(time.Second)
+	if len(got) != 1 {
+		t.Fatalf("drained %d records, want 1", len(got))
+	}
+	if !reflect.DeepEqual(got[0].Writes, times) {
+		t.Fatalf("writes = %v, want %v", got[0].Writes, times)
+	}
+}
+
+// TestBufferClampsRetrogradeWrites: mtimes can go backwards (clock
+// skew, touch -d); the buffer clamps them so the drained record is
+// still ascending — the planner panics on anything else.
+func TestBufferClampsRetrogradeWrites(t *testing.T) {
+	b := NewBuffer(0)
+	b.Note(Event{Path: "f", Write: 5 * time.Second}, 5*time.Second)
+	b.Note(Event{Path: "f", Write: 2 * time.Second}, 6*time.Second)
+	got := b.Drain(6 * time.Second)
+	if len(got) != 1 {
+		t.Fatalf("drained %d records, want 1", len(got))
+	}
+	want := []time.Duration{5 * time.Second, 5 * time.Second}
+	if !reflect.DeepEqual(got[0].Writes, want) {
+		t.Fatalf("writes = %v, want %v (clamped)", got[0].Writes, want)
+	}
+}
+
+// TestBufferRemoveThenRewrite: a delete followed by a re-create in the
+// same window is a write, not a removal — last disposition wins.
+func TestBufferRemoveThenRewrite(t *testing.T) {
+	b := NewBuffer(0)
+	b.Note(Event{Path: "f", Remove: true}, 0)
+	b.Note(Event{Path: "f", Write: 10 * time.Millisecond}, 10*time.Millisecond)
+	got := b.Drain(time.Second)
+	if len(got) != 1 || got[0].Remove {
+		t.Fatalf("remove+rewrite drained as %+v, want one non-remove record", got)
+	}
+}
+
+// TestBufferQuietWindowSlides: each new event pushes the release time
+// out — the window measures quiet time, not age.
+func TestBufferQuietWindowSlides(t *testing.T) {
+	b := NewBuffer(100 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * 90 * time.Millisecond
+		b.Note(Event{Path: "f", Write: at}, at)
+		if got := b.Drain(at); len(got) != 0 {
+			t.Fatalf("entry released at %v while events kept arriving", at)
+		}
+	}
+	if got := b.Drain(9*90*time.Millisecond + 100*time.Millisecond); len(got) != 1 {
+		t.Fatalf("entry did not release after the burst went quiet (got %d records)", len(got))
+	}
+}
