@@ -8,12 +8,21 @@
 //	syncd -addr 127.0.0.1:7777 -compress -cross-user-dedup
 //	syncd -obs-addr 127.0.0.1:8080   # live /metrics, /healthz, pprof
 //
+// With -state-dir, server state is durable: every acknowledged commit
+// is group-committed to an append-only CRC-framed log before the ACK,
+// and restarting syncd on the same directory replays it back (see
+// docs/DURABILITY.md). The default remains purely in-RAM.
+//
 // For resilience testing, -fault-drop-bytes cuts every accepted
 // connection after a seeded pseudo-random byte budget, so retrying
-// clients exercise the resume protocol against a real listener.
-// With -obs-addr, a second HTTP listener serves Prometheus-text
-// metrics at /metrics, a liveness probe at /healthz, and the standard
-// net/http/pprof profiling endpoints (see docs/OBSERVABILITY.md).
+// clients exercise the resume protocol against a real listener, and
+// -fault-crash-bytes arms an in-process kill -9: the group commit that
+// would carry the durable log past a seeded offset writes only a torn
+// prefix and the process exits for its supervisor to restart into
+// recovery. With -obs-addr, a second HTTP listener serves
+// Prometheus-text metrics at /metrics, a liveness probe at /healthz,
+// and the standard net/http/pprof profiling endpoints (see
+// docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -39,13 +48,17 @@ func main() {
 		blockSize = flag.Int("block-size", 0, "delta-sync granularity in bytes (0 = default 8 KiB)")
 		inflight  = flag.Int("max-inflight", 0,
 			"requests read ahead per connection for pipelined clients (0 = default, 1 ≈ lockstep)")
-		quiet = flag.Bool("quiet", false, "suppress per-request logging")
+		quiet    = flag.Bool("quiet", false, "suppress per-request logging")
+		stateDir = flag.String("state-dir", "",
+			"durable state directory: replay on start, group-commit before every ACK (empty = in-RAM)")
 
 		faultBytes = flag.Int64("fault-drop-bytes", 0,
 			"cut each connection after ~this many bytes (0 = no fault injection)")
 		faultDrops = flag.Int("fault-max-drops", 0,
 			"stop injecting after this many cuts (0 = unlimited)")
-		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault-injection schedule seed")
+		crashBytes = flag.Int64("fault-crash-bytes", 0,
+			"kill -9 the durable state after ~this many log bytes (0 = off; needs -state-dir)")
 
 		obsAddr = flag.String("obs-addr", "",
 			"serve live /metrics (Prometheus text), /healthz and pprof on this address (empty = off)")
@@ -56,6 +69,7 @@ func main() {
 		BlockSize:      *blockSize,
 		CrossUserDedup: *crossUser,
 		MaxInflight:    *inflight,
+		StateDir:       *stateDir,
 	}
 	if *compress {
 		cfg.Compression = comp.High
@@ -78,6 +92,17 @@ func main() {
 		log.Printf("syncd: observability on http://%s/metrics (+ /healthz, /debug/pprof/)", obsSrv.Addr())
 	}
 
+	// The durable state replays before the listener opens: a recovering
+	// server never acknowledges a request against partial state.
+	srv, err := syncnet.OpenServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "syncd: %v\n", err)
+		os.Exit(1)
+	}
+	if *stateDir != "" {
+		log.Printf("syncd: durable state in %s (%d log bytes replayed)", *stateDir, srv.StateLogBytes())
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "syncd: %v\n", err)
@@ -85,17 +110,35 @@ func main() {
 	}
 	log.Printf("syncd: listening on %s (compress=%v cross-user-dedup=%v)",
 		l.Addr(), *compress, *crossUser)
-	if *faultBytes > 0 {
+	if *faultBytes > 0 || *crashBytes > 0 {
 		sched := syncnet.NewFaultScheduler(syncnet.FaultPlan{
 			Seed: *faultSeed, MeanDropBytes: *faultBytes, MaxDrops: *faultDrops,
+			MeanCrashBytes: *crashBytes,
 		})
 		sched.SetMetrics(reg)
-		l = sched.Listen(l)
-		log.Printf("syncd: fault injection armed (~%d bytes/conn, max drops %d, seed %d)",
-			*faultBytes, *faultDrops, *faultSeed)
+		if *faultBytes > 0 {
+			l = sched.Listen(l)
+			log.Printf("syncd: fault injection armed (~%d bytes/conn, max drops %d, seed %d)",
+				*faultBytes, *faultDrops, *faultSeed)
+		}
+		if *crashBytes > 0 {
+			if *stateDir == "" {
+				fmt.Fprintln(os.Stderr, "syncd: -fault-crash-bytes requires -state-dir")
+				os.Exit(1)
+			}
+			off := sched.ArmCrash(srv)
+			log.Printf("syncd: crash point armed at durable-log offset %d (seed %d)", off, *faultSeed)
+		}
 	}
 
-	srv := syncnet.NewServer(cfg)
+	// A dead durable state is a dead process: exit non-zero so a
+	// supervisor restarts syncd into recovery on the same -state-dir.
+	go func() {
+		<-srv.CrashedC()
+		log.Printf("syncd: durable state crashed; exiting for supervisor restart")
+		os.Exit(3)
+	}()
+
 	if obsSrv != nil {
 		// The server owns the observability endpoint's lifetime: Close
 		// (below, on shutdown) drains the handlers, then closes it.

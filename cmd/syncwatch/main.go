@@ -3,7 +3,10 @@
 // polling observer → debounced change buffer → pure planner →
 // parallel executor → atomically persisted baseline. Sync deferment
 // (including the paper's adaptive sync defer) is a planner policy
-// knob, selected with -defer.
+// knob, selected with -defer. The durable client state (the baseline)
+// lives under -state-dir, DIR/.syncwatch by default; a crash at any
+// point leaves either the old baseline or the new one, never a torn
+// file (see docs/DURABILITY.md).
 //
 // Usage:
 //
@@ -47,6 +50,7 @@ type options struct {
 	device   string
 	interval time.Duration
 	debounce time.Duration
+	stateDir string
 	baseline string
 	workers  int
 	compress bool
@@ -75,7 +79,9 @@ func main() {
 	flag.StringVar(&o.device, "device", "syncwatch", "device name")
 	flag.DurationVar(&o.interval, "interval", time.Second, "poll interval")
 	flag.DurationVar(&o.debounce, "debounce", 500*time.Millisecond, "change buffer quiet window")
-	flag.StringVar(&o.baseline, "baseline", "", "baseline path (default DIR/.syncwatch/baseline.json)")
+	flag.StringVar(&o.stateDir, "state-dir", "",
+		"durable client state directory (default DIR/.syncwatch)")
+	flag.StringVar(&o.baseline, "baseline", "", "baseline path (default STATE-DIR/baseline.json)")
 	flag.IntVar(&o.workers, "workers", 2, "parallel transfer workers")
 	flag.BoolVar(&o.compress, "compress", true, "compress uploads (must match syncd)")
 	flag.BoolVar(&o.once, "once", false, "sync until converged, then exit")
@@ -93,8 +99,11 @@ func main() {
 	flag.DurationVar(&o.editGap, "edit-interval", 500*time.Millisecond, "with -replay: virtual time between edits")
 	flag.Parse()
 
+	if o.stateDir == "" {
+		o.stateDir = filepath.Join(o.dir, ".syncwatch")
+	}
 	if o.baseline == "" {
-		o.baseline = filepath.Join(o.dir, ".syncwatch", "baseline.json")
+		o.baseline = filepath.Join(o.stateDir, "baseline.json")
 	}
 
 	var err error

@@ -1,0 +1,316 @@
+package cloud
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloudsync/internal/content"
+	"cloudsync/internal/dedup"
+	"cloudsync/internal/store/wal"
+)
+
+// Record kinds of the cloud's durable log. Entries are persisted as
+// absolute states (idempotent on replay); large descriptor blobs are
+// stored as their (kind, size, seed) triple — a few bytes regardless of
+// content size — and literal blobs carry their bytes.
+const (
+	cloudRecEntry = 1 // one file entry's full current state
+	cloudRecIndex = 2 // one dedup-index fingerprint (snapshot-only)
+)
+
+// DefaultCompactLogBytes is the log-size threshold at which a durable
+// cloud folds its log into a snapshot.
+const DefaultCompactLogBytes = 64 << 20
+
+// persistBatchBytes is the group-commit threshold: appended records
+// accumulate until this much is buffered, then one fsync makes them
+// all durable. SyncState forces the flush at experiment checkpoints.
+const persistBatchBytes = 1 << 20
+
+// persistState is the cloud's durability attachment. Its own mutex
+// (not the shard locks) serializes log access: shards stay concurrent,
+// appends interleave per-entry in commit order, and a first error
+// latches — like a crashed process, nothing more reaches the disk.
+type persistState struct {
+	mu        sync.Mutex
+	st        *wal.Store
+	err       error
+	compactAt int64
+}
+
+// Open constructs a cloud that replays durable state from dir and logs
+// every committed mutation there. An empty dir is exactly New: purely
+// in-RAM. The mid-layer is a sequential-replay experiment facility and
+// is not supported together with persistence.
+func Open(cfg Config, dir string) (*Cloud, error) {
+	if dir == "" {
+		return New(cfg), nil
+	}
+	cfg.validate()
+	if cfg.MidLayer != nil {
+		panic("cloud: mid-layer and persistence are mutually exclusive")
+	}
+	c := &Cloud{
+		cfg:   cfg,
+		index: dedup.NewIndex(cfg.DedupCrossUser),
+	}
+	st, err := wal.Open(dir, c.replayRecord)
+	if err != nil {
+		return nil, err
+	}
+	c.persist = &persistState{st: st, compactAt: DefaultCompactLogBytes}
+	return c, nil
+}
+
+// SetCompactLogBytes overrides the compaction threshold (tests use a
+// small one; 0 restores the default). Call before traffic.
+func (c *Cloud) SetCompactLogBytes(n int64) {
+	if c.persist == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultCompactLogBytes
+	}
+	c.persist.mu.Lock()
+	c.persist.compactAt = n
+	c.persist.mu.Unlock()
+}
+
+// replayRecord applies one durable record during Open — single
+// threaded, before the cloud is shared.
+func (c *Cloud) replayRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return errors.New("cloud: empty state record")
+	}
+	cur := wal.NewRecCursor(rec[1:])
+	switch rec[0] {
+	case cloudRecIndex:
+		scope := cur.Str()
+		fp := cur.Hash16()
+		size := cur.I64()
+		if cur.Err() != nil {
+			return fmt.Errorf("cloud: index record: %w", cur.Err())
+		}
+		c.index.Add(scope, fp, size)
+	case cloudRecEntry:
+		user := cur.Str()
+		name := cur.Str()
+		id := cur.U64()
+		version := cur.U64()
+		flags := cur.U8()
+		storedSize := cur.I64()
+		kind := content.Kind(cur.U8())
+		var blob *content.Blob
+		if kind == content.KindBytes {
+			blob = content.FromBytes(append([]byte(nil), cur.Bytes()...))
+		} else {
+			size := cur.I64()
+			seed := cur.I64()
+			if cur.Err() == nil {
+				blob = content.FromDescriptor(kind, size, seed)
+			}
+		}
+		if cur.Err() != nil {
+			return fmt.Errorf("cloud: entry record: %w", cur.Err())
+		}
+		sh := c.shard(user)
+		ns := sh.ns(user)
+		e := ns[name]
+		if e == nil {
+			e = &Entry{Name: name}
+			ns[name] = e
+		}
+		e.ID = id
+		e.Version = version
+		e.Deleted = flags&1 != 0
+		e.StoredSize = storedSize
+		e.Blob = blob
+		// Re-derive the live-path index adds; duplicates (snapshot replay
+		// after cloudRecIndex records) are no-ops.
+		c.recordDedup(user, blob)
+		if next := c.nextID.Load(); id > next {
+			c.nextID.Store(id)
+		}
+	default:
+		return fmt.Errorf("cloud: unknown state record kind %d", rec[0])
+	}
+	return nil
+}
+
+// encodeEntryRec renders one entry's absolute state as a record.
+func encodeEntryRec(user string, e *Entry) []byte {
+	b := make([]byte, 0, 64+len(user)+len(e.Name))
+	b = append(b, cloudRecEntry)
+	b = wal.AppendStr(b, user)
+	b = wal.AppendStr(b, e.Name)
+	b = binary.LittleEndian.AppendUint64(b, e.ID)
+	b = binary.LittleEndian.AppendUint64(b, e.Version)
+	flags := byte(0)
+	if e.Deleted {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.StoredSize))
+	b = append(b, byte(e.Blob.Kind()))
+	if e.Blob.Kind() == content.KindBytes {
+		return wal.AppendBytes(b, e.Blob.Bytes())
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Blob.Size()))
+	return binary.LittleEndian.AppendUint64(b, uint64(e.Blob.Seed()))
+}
+
+// persistEntry logs one committed mutation, group-committing when the
+// batch threshold is crossed and compacting when the log outgrows its
+// bound. Errors latch: the store is dead from the first failure on,
+// exactly like a crashed process (SyncState reports it).
+func (c *Cloud) persistEntry(user string, e *Entry) {
+	p := c.persist
+	if p == nil {
+		return
+	}
+	rec := encodeEntryRec(user, e)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return
+	}
+	p.st.Append(rec)
+	if p.st.Pending() >= persistBatchBytes {
+		p.err = c.syncLocked(p)
+	}
+}
+
+func (c *Cloud) syncLocked(p *persistState) error {
+	if err := p.st.Sync(); err != nil {
+		return err
+	}
+	if p.st.LogBytes() > p.compactAt {
+		return p.st.Compact(c.snapshotRecords())
+	}
+	return nil
+}
+
+// snapshotRecords renders the full cloud state as records: the dedup
+// index first (overwritten versions stay probe-able, so its
+// fingerprints are not derivable from live entries alone), then every
+// entry sorted by (user, name). Caller holds p.mu, which quiesces the
+// log; shard locks are taken per shard.
+func (c *Cloud) snapshotRecords() [][]byte {
+	var recs [][]byte
+	for _, en := range c.index.Entries() {
+		b := make([]byte, 0, 1+4+len(en.Scope)+16+8)
+		b = append(b, cloudRecIndex)
+		b = wal.AppendStr(b, en.Scope)
+		b = append(b, en.FP[:]...)
+		recs = append(recs, binary.LittleEndian.AppendUint64(b, uint64(en.Size)))
+	}
+	type userEntry struct {
+		user string
+		e    *Entry
+	}
+	var all []userEntry
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for user, ns := range sh.files {
+			for _, e := range ns {
+				all = append(all, userEntry{user, e})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].user != all[j].user {
+			return all[i].user < all[j].user
+		}
+		return all[i].e.Name < all[j].e.Name
+	})
+	for _, ue := range all {
+		recs = append(recs, encodeEntryRec(ue.user, ue.e))
+	}
+	return recs
+}
+
+// SyncState forces the group commit now — the durability checkpoint an
+// experiment takes before reporting results. It returns the store's
+// latched error, so a crashed store surfaces here (in-RAM clouds
+// return nil).
+func (c *Cloud) SyncState() error {
+	p := c.persist
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err == nil {
+		p.err = c.syncLocked(p)
+	}
+	return p.err
+}
+
+// CompactState folds the durable log into a snapshot now, regardless
+// of the size threshold (no-op in-RAM).
+func (c *Cloud) CompactState() error {
+	p := c.persist
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err == nil {
+		if p.err = p.st.Sync(); p.err == nil {
+			p.err = p.st.Compact(c.snapshotRecords())
+		}
+	}
+	return p.err
+}
+
+// FailStateAt arms an injected crash point on the durable log at an
+// absolute file offset (no-op in-RAM; -1 disarms) — the kill -9 lever
+// of the crash-recovery property tests.
+func (c *Cloud) FailStateAt(offset int64) {
+	p := c.persist
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.st.FailAt(offset)
+	p.mu.Unlock()
+}
+
+// StateLogBytes reports the durable log's size including unsynced
+// appends (0 in-RAM); crash harnesses aim seeded offsets inside it.
+func (c *Cloud) StateLogBytes() int64 {
+	p := c.persist
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st.LogBytes()
+}
+
+// CloseState flushes and closes the durable store (no-op in-RAM). The
+// cloud must not be used afterwards.
+func (c *Cloud) CloseState() error {
+	p := c.persist
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.st
+	if st == nil {
+		return p.err
+	}
+	p.st = nil
+	cerr := st.Close()
+	if p.err != nil {
+		return p.err
+	}
+	p.err = errors.New("cloud: durable state closed")
+	return cerr
+}

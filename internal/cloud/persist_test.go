@@ -1,0 +1,223 @@
+package cloud
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudsync/internal/content"
+	"cloudsync/internal/dedup"
+)
+
+// dumpState flattens a cloud's full file table for comparison:
+// user/name → (id, version, deleted, stored size, blob identity).
+type entryState struct {
+	ID         uint64
+	Version    uint64
+	Deleted    bool
+	StoredSize int64
+	Identity   string
+}
+
+func dumpState(c *Cloud) map[string]entryState {
+	out := make(map[string]entryState)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for user, ns := range sh.files {
+			for name, e := range ns {
+				out[user+"/"+name] = entryState{
+					ID: e.ID, Version: e.Version, Deleted: e.Deleted,
+					StoredSize: e.StoredSize, Identity: e.Blob.Identity(),
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+func openCloud(t *testing.T, cfg Config, dir string) *Cloud {
+	t.Helper()
+	c, err := Open(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.CloseState() })
+	return c
+}
+
+func sameState(t *testing.T, want, got map[string]entryState) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d: %v vs %v", len(got), len(want), got, want)
+	}
+	for k, w := range want {
+		if g := got[k]; g != w {
+			t.Fatalf("%s recovered as %+v, want %+v", k, g, w)
+		}
+	}
+}
+
+func TestCloudDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DedupGranularity: dedup.FullFile}
+	c := openCloud(t, cfg, dir)
+
+	// Descriptor blobs persist as (kind, size, seed); literals as bytes.
+	c.Commit("alice", "big.bin", content.Random(1<<20, 7), nil)
+	c.Commit("alice", "notes.txt", content.FromBytes([]byte("literal content")), nil)
+	c.Commit("alice", "big.bin", content.Random(1<<20, 8), nil) // overwrite
+	c.Commit("bob", "big.bin", content.Random(1<<20, 7), nil)   // dup of alice v1
+	if err := c.Delete("alice", "notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpState(c)
+	wantUnique := c.DedupIndex().Unique()
+	if err := c.CloseState(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openCloud(t, cfg, dir)
+	sameState(t, want, dumpState(c2))
+	if got := c2.DedupIndex().Unique(); got != wantUnique {
+		t.Fatalf("recovered index has %d fingerprints, want %d", got, wantUnique)
+	}
+	// The overwritten version's fingerprint must still be probe-able.
+	if dec := c2.ProbeUpload("alice", content.Random(1<<20, 7), true); !dec.SkipAll {
+		t.Fatal("pre-overwrite fingerprint lost in recovery")
+	}
+	// ID allocation continues past the recovered maximum.
+	maxID := uint64(0)
+	for _, e := range want {
+		if e.ID > maxID {
+			maxID = e.ID
+		}
+	}
+	if e := c2.Commit("alice", "new.txt", content.Zeros(10), nil); e.ID <= maxID {
+		t.Fatalf("new entry reused ID %d (max recovered %d)", e.ID, maxID)
+	}
+}
+
+func TestCloudCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DedupGranularity: dedup.Block, DedupBlockSize: 4 << 10}
+	c := openCloud(t, cfg, dir)
+	c.SetCompactLogBytes(256) // every sync compacts
+
+	for i := int64(0); i < 8; i++ {
+		c.Commit("u", "f"+string(rune('a'+i)), content.Text(20_000, i), nil)
+		if err := c.SyncState(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CompactState(); err != nil {
+		t.Fatal(err)
+	}
+	c.Commit("u", "post", content.Random(5_000, 99), nil) // log-over-snapshot
+	want := dumpState(c)
+	wantUnique := c.DedupIndex().Unique()
+	if err := c.CloseState(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openCloud(t, cfg, dir)
+	sameState(t, want, dumpState(c2))
+	if got := c2.DedupIndex().Unique(); got != wantUnique {
+		t.Fatalf("recovered index has %d fingerprints, want %d", got, wantUnique)
+	}
+}
+
+// TestCloudTornTailRecovery is the kill -9 property at the cloud layer:
+// truncate the log at EVERY byte offset and recovery must reconstruct
+// exactly the state as of the last completed group commit before the
+// cut — never a torn hybrid, never an error.
+func TestCloudTornTailRecovery(t *testing.T) {
+	seedDir := t.TempDir()
+	cfg := Config{DedupGranularity: dedup.FullFile}
+	c := openCloud(t, cfg, seedDir)
+
+	type checkpoint struct {
+		bytes int64
+		state map[string]entryState
+	}
+	ckpts := []checkpoint{{0, map[string]entryState{}}}
+	commit := func(user, name string, blob *content.Blob) {
+		c.Commit(user, name, blob, nil)
+		if err := c.SyncState(); err != nil {
+			t.Fatal(err)
+		}
+		ckpts = append(ckpts, checkpoint{c.StateLogBytes(), dumpState(c)})
+	}
+	commit("alice", "a", content.Random(10_000, 1))
+	commit("alice", "b", content.FromBytes([]byte("hello world")))
+	commit("bob", "a", content.Text(3_000, 2))
+	commit("alice", "a", content.Random(12_000, 3)) // overwrite
+	if err := c.CloseState(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(seedDir, "wal-00000001.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != ckpts[len(ckpts)-1].bytes {
+		t.Fatalf("log is %d bytes, last checkpoint %d", len(raw), ckpts[len(ckpts)-1].bytes)
+	}
+
+	dir := t.TempDir()
+	for cut := int64(0); cut <= int64(len(raw)); cut++ {
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000001.log"), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want := ckpts[0].state
+		for _, ck := range ckpts {
+			if ck.bytes <= cut {
+				want = ck.state
+			}
+		}
+		rc, err := Open(cfg, dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		got := dumpState(rc)
+		rc.CloseState()
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: %d entries, want %d", cut, len(got), len(want))
+		}
+		for k, w := range want {
+			if g := got[k]; g != w {
+				t.Fatalf("cut %d: %s = %+v, want %+v", cut, k, g, w)
+			}
+		}
+	}
+}
+
+// TestCloudCrashPoint: an armed crash offset latches the store dead;
+// SyncState surfaces it and recovery sees only the durable prefix.
+func TestCloudCrashPoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{}
+	c := openCloud(t, cfg, dir)
+
+	c.Commit("u", "safe", content.Random(1_000, 1), nil)
+	if err := c.SyncState(); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpState(c)
+
+	c.FailStateAt(c.StateLogBytes() + 5)
+	c.Commit("u", "doomed", content.Random(1_000, 2), nil)
+	if err := c.SyncState(); err == nil {
+		t.Fatal("SyncState succeeded past an armed crash point")
+	}
+	c.Commit("u", "more", content.Random(1_000, 3), nil) // latched dead: ignored
+	if err := c.SyncState(); err == nil {
+		t.Fatal("crashed store accepted a sync")
+	}
+	c.CloseState()
+
+	c2 := openCloud(t, cfg, dir)
+	sameState(t, want, dumpState(c2))
+}

@@ -9,9 +9,11 @@
 package dedup
 
 import (
+	"bytes"
 	"crypto/md5"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -140,6 +142,42 @@ func (ix *Index) Add(user string, fp Fingerprint, size int64) {
 	if !dup {
 		ix.bytesStored.Add(size)
 	}
+}
+
+// IndexEntry is one stored fingerprint as enumerated by Entries. Scope
+// is the internal deduplication scope: the user name for per-user
+// indexes, "" for a cross-user index. Feeding an entry's scope back
+// through Add on an index with the same scope policy reproduces the
+// entry exactly — which is how the durable sync server snapshots and
+// restores its index.
+type IndexEntry struct {
+	Scope string
+	FP    Fingerprint
+	Size  int64
+}
+
+// Entries enumerates every stored fingerprint in a deterministic order
+// (scope, then fingerprint bytes). It takes each shard lock briefly;
+// callers wanting a consistent cut hold their own state lock around it.
+func (ix *Index) Entries() []IndexEntry {
+	var out []IndexEntry
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		for scope, m := range sh.entries {
+			for fp, size := range m {
+				out = append(out, IndexEntry{Scope: scope, FP: fp, Size: size})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return bytes.Compare(out[i].FP[:], out[j].FP[:]) < 0
+	})
+	return out
 }
 
 // Stats returns a copy of the accumulated statistics.

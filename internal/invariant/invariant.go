@@ -49,8 +49,10 @@ func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 // ServerFile is one file's server-side state as seen by a driver's
 // snapshot. History is the number of versions the server ever stored
 // for the name; 0 means the driver cannot report it and disables the
-// history check.
+// history check. ID is the server-assigned file identity; 0 means the
+// driver cannot report it and disables identity checks.
 type ServerFile struct {
+	ID      uint64
 	Data    []byte
 	Version uint64
 	Deleted bool
@@ -230,6 +232,60 @@ func (t *Tracker) Check(server map[string]ServerFile, w Wire) []Violation {
 		if lost := w.ClientSent - w.ServerReceived; w.MaxLost >= 0 && lost > w.MaxLost {
 			report("wire-balance", "%d client bytes unaccounted for (sent %d, received %d, allowed loss %d)",
 				lost, w.ClientSent, w.ServerReceived, w.MaxLost)
+		}
+	}
+	return out
+}
+
+// CheckRecovery verifies the crash-recovery contract of a durable
+// store: after a crash at ANY byte of the state log, reopening must
+// reconstruct exactly the state as of the last acknowledged operation
+// — per-file content (MD5-equal), version, deletion flag, history, and
+// file identity all unchanged — with nothing resurrected and nothing
+// invented. acked is the snapshot taken after the last operation the
+// client saw acknowledged before the crash; recovered is the reopened
+// store's snapshot. A mutation that was in flight when the crash hit
+// must be entirely absent: it was never acknowledged, so recovery must
+// neither surface it as a new name nor as an advanced version.
+func CheckRecovery(acked, recovered map[string]ServerFile) []Violation {
+	var out []Violation
+	report := func(format string, args ...any) {
+		out = append(out, Violation{Invariant: "recovery", Detail: fmt.Sprintf(format, args...)})
+	}
+
+	names := make([]string, 0, len(acked))
+	for name := range acked {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := acked[name]
+		r, ok := recovered[name]
+		if !ok {
+			report("%q: acknowledged at version %d but lost in recovery", name, a.Version)
+			continue
+		}
+		if !bytes.Equal(a.Data, r.Data) {
+			report("%q: recovered %d bytes (md5 %x), acknowledged %d bytes (md5 %x)",
+				name, len(r.Data), md5.Sum(r.Data), len(a.Data), md5.Sum(a.Data))
+		}
+		if r.Version != a.Version {
+			report("%q: recovered at version %d, acknowledged %d", name, r.Version, a.Version)
+		}
+		if r.Deleted != a.Deleted {
+			report("%q: recovered deleted=%v, acknowledged deleted=%v", name, r.Deleted, a.Deleted)
+		}
+		if a.History > 0 && r.History != a.History {
+			report("%q: recovered %d stored versions, acknowledged %d", name, r.History, a.History)
+		}
+		if a.ID != 0 && r.ID != a.ID {
+			report("%q: file identity changed across recovery: %d became %d", name, a.ID, r.ID)
+		}
+	}
+	for name, r := range recovered {
+		if _, ok := acked[name]; !ok {
+			report("%q: recovery invented a file never acknowledged (v%d, %d bytes)",
+				name, r.Version, len(r.Data))
 		}
 	}
 	return out

@@ -29,12 +29,21 @@ type FaultPlan struct {
 	// reached, further connections run fault-free — which guarantees a
 	// retrying client eventually gets a clean run.
 	MaxDrops int
+	// MeanCrashBytes arms durable-state crash points on servers passed
+	// to ArmCrash: the group commit that would carry the server's state
+	// log past a seeded offset (drawn uniformly from [mean/2, 3·mean/2))
+	// is torn mid-frame and the server dies — the in-process equivalent
+	// of kill -9 at that exact byte of the WAL stream. 0 disables; only
+	// meaningful for servers with a state directory.
+	MeanCrashBytes int64
 }
 
 // FaultConnStats counts what a scheduler did to its connections.
 type FaultConnStats struct {
 	// Drops is the number of connections cut.
 	Drops int
+	// Crashes is the number of server crash points armed via ArmCrash.
+	Crashes int
 	// BytesWritten and BytesRead are the bytes actually forwarded
 	// through wrapped connections in each direction.
 	BytesWritten int64
@@ -57,7 +66,32 @@ func NewFaultScheduler(plan FaultPlan) *FaultScheduler {
 	if plan.MeanDropBytes < 0 {
 		panic(fmt.Sprintf("syncnet: negative mean drop bytes %d", plan.MeanDropBytes))
 	}
+	if plan.MeanCrashBytes < 0 {
+		panic(fmt.Sprintf("syncnet: negative mean crash bytes %d", plan.MeanCrashBytes))
+	}
 	return &FaultScheduler{plan: plan, rng: newJitterRNG(plan.Seed)}
+}
+
+// ArmCrash draws the plan's next seeded crash offset and arms it on
+// srv's durable state log (see Server.FailStateAt). It returns the
+// armed absolute offset, or -1 when the plan has MeanCrashBytes unset.
+// Arming a server without a state directory is a recorded no-op — the
+// draw still advances, keeping offset sequences stable across configs.
+func (fs *FaultScheduler) ArmCrash(srv *Server) int64 {
+	fs.mu.Lock()
+	if fs.plan.MeanCrashBytes <= 0 {
+		fs.mu.Unlock()
+		return -1
+	}
+	m := float64(fs.plan.MeanCrashBytes)
+	off := int64(m/2 + m*fs.rng.float())
+	if off < 1 {
+		off = 1
+	}
+	fs.stats.Crashes++
+	fs.mu.Unlock()
+	srv.FailStateAt(off)
+	return off
 }
 
 // SetMetrics mirrors the scheduler's cut count into reg as

@@ -32,6 +32,7 @@ import (
 	"cloudsync/internal/obs"
 	"cloudsync/internal/obs/ledger"
 	"cloudsync/internal/protocol"
+	"cloudsync/internal/store/wal"
 	"cloudsync/internal/wire"
 )
 
@@ -90,6 +91,15 @@ type ServerConfig struct {
 	// BytesReceived+BytesSent exactly once sessions have ended. Nil
 	// disables attribution at no cost.
 	Ledger *ledger.Ledger
+	// StateDir, when set, makes the server durable: every mutation is
+	// group-committed to an append-only record log there before it is
+	// acknowledged, and OpenServer replays log-over-snapshot to recover
+	// after a crash. Empty keeps the historical in-RAM behaviour.
+	StateDir string
+	// CompactLogBytes is the log size at which the durable state is
+	// folded into a snapshot (0 = DefaultCompactLogBytes). Only
+	// meaningful with StateDir set.
+	CompactLogBytes int64
 }
 
 type serverFile struct {
@@ -162,6 +172,13 @@ type Server struct {
 	bytesReceived atomic.Int64
 	bytesSent     atomic.Int64
 
+	// persist is the durable state store (nil for in-RAM servers);
+	// appended under s.mu, group-committed by persistSync. crashed trips
+	// once the store dies — see persist.go.
+	persist  *wal.Store
+	crashed  atomic.Bool
+	crashedC chan struct{}
+
 	// closers are torn down by Close after the handlers drain —
 	// auxiliary lifecycles (like the obs HTTP endpoint) tied to the
 	// server's.
@@ -170,24 +187,15 @@ type Server struct {
 	om serverObs
 }
 
-// NewServer constructs a server.
+// NewServer constructs a server. It cannot fail for in-RAM
+// configurations; with StateDir set it panics on a state-directory
+// error — callers wiring persistence should prefer OpenServer.
 func NewServer(cfg ServerConfig) *Server {
-	if cfg.BlockSize == 0 {
-		cfg.BlockSize = delta.DefaultBlockSize
+	s, err := OpenServer(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("syncnet: NewServer with state dir: %v", err))
 	}
-	if cfg.BlockSize < 0 {
-		panic(fmt.Sprintf("syncnet: negative block size %d", cfg.BlockSize))
-	}
-	return &Server{
-		cfg:       cfg,
-		users:     make(map[string]map[string]*serverFile),
-		byHash:    make(map[dedup.Fingerprint][]byte),
-		index:     dedup.NewIndex(cfg.CrossUserDedup),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
-		pending:   make(map[pendingKey]*pendingUpload),
-		om:        newServerObs(cfg.Metrics),
-	}
+	return s
 }
 
 // Stats returns a snapshot of server activity.
@@ -249,7 +257,7 @@ func (s *Server) Close() error {
 	for _, c := range closers {
 		err = errors.Join(err, c.Close())
 	}
-	return err
+	return errors.Join(err, s.closePersist())
 }
 
 // Serve accepts connections until the listener fails or the server is
@@ -300,6 +308,9 @@ func (s *Server) register(conn net.Conn) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrServerClosed
+	}
+	if s.crashed.Load() {
+		return ErrServerCrashed
 	}
 	s.conns[conn] = struct{}{}
 	s.handlers.Add(1)
@@ -497,6 +508,7 @@ func (s *Server) files(user string) map[string]*serverFile {
 // FileState is one file's externally visible server-side state, as
 // reported by Snapshot.
 type FileState struct {
+	ID      uint64
 	Data    []byte
 	Version uint64
 	Deleted bool
@@ -504,13 +516,16 @@ type FileState struct {
 }
 
 // Snapshot copies one user's full file state — the invariant harness's
-// view of the server.
+// view of the server. ID is included so crash-recovery checks can
+// assert that a file acknowledged before a crash keeps its identity
+// across reopen.
 func (s *Server) Snapshot(user string) map[string]FileState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]FileState, len(s.users[user]))
 	for name, f := range s.users[user] {
 		out[name] = FileState{
+			ID:      f.id,
 			Data:    append([]byte(nil), f.data...),
 			Version: f.version,
 			Deleted: f.deleted,
@@ -690,6 +705,12 @@ func (s *Server) takePending(key pendingKey) *pendingUpload {
 }
 
 func (ss *session) handle(msg protocol.Message) error {
+	if ss.srv.crashed.Load() {
+		// The durable state is dead: behave like a killed process —
+		// refuse everything, let the client reconnect after recovery.
+		ss.sendErr(protocol.ErrInternal, "server crashed")
+		return ErrServerCrashed
+	}
 	switch m := msg.(type) {
 	case *protocol.IndexUpdate:
 		return ss.onIndexUpdate(m)
@@ -806,6 +827,12 @@ func (ss *session) onCommit(m *protocol.Commit) error {
 	}
 
 	version := ss.store(up.name, up.id, raw, up.hash, up.dedupHit)
+	// Durability before acknowledgement: the commit must survive kill -9
+	// once the client has seen the Ack.
+	if err := s.persistSync(); err != nil {
+		ss.sendErr(protocol.ErrInternal, "server crashed")
+		return err
+	}
 	return ss.send(&protocol.Ack{FileID: up.id, Version: version, OK: true})
 }
 
@@ -830,7 +857,9 @@ func (ss *session) store(name string, id uint64, raw []byte, hash protocol.Finge
 	if _, ok := s.byHash[hash]; !ok {
 		s.byHash[hash] = raw
 		s.stats.BytesStored += int64(len(raw))
+		s.persistContentLocked(hash, raw)
 	}
+	s.persistFileLocked(ss.user, f)
 	s.stats.Uploads++
 	if wasDedup {
 		s.stats.DedupSkips++
@@ -898,6 +927,11 @@ func (ss *session) onBundle(m *protocol.Bundle) error {
 	s.mu.Unlock()
 	s.om.bundles.Inc()
 	s.om.bundleFiles.Add(int64(committed))
+	// One group commit covers the whole bundle: N entries, one fsync.
+	if err := s.persistSync(); err != nil {
+		ss.sendErr(protocol.ErrInternal, "server crashed")
+		return err
+	}
 	s.logf("bundle: committed %d/%d entries for %s", committed, len(m.Entries), ss.user)
 	return ss.send(&protocol.BundleReply{Results: results})
 }
@@ -945,8 +979,13 @@ func (ss *session) onDelete(m *protocol.Delete) error {
 	target.version++
 	s.stats.Deletes++
 	version := target.version
+	s.persistFileLocked(ss.user, target)
 	s.mu.Unlock()
 	s.om.deletes.Inc()
+	if err := s.persistSync(); err != nil {
+		ss.sendErr(protocol.ErrInternal, "server crashed")
+		return err
+	}
 	return ss.send(&protocol.Ack{FileID: m.FileID, Version: version, OK: true})
 }
 
@@ -1037,7 +1076,9 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	if _, ok := s.byHash[hash]; !ok {
 		s.byHash[hash] = raw
 		s.stats.BytesStored += int64(len(raw))
+		s.persistContentLocked(hash, raw)
 	}
+	s.persistFileLocked(ss.user, f)
 	s.stats.DeltaSyncs++
 	version := f.version
 	id := f.id
@@ -1046,6 +1087,10 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	s.om.deltaSyncs.Inc()
 	s.om.bytesStored.Set(stored)
 	ss.contentBytes += int64(len(raw))
+	if err := s.persistSync(); err != nil {
+		ss.sendErr(protocol.ErrInternal, "server crashed")
+		return err
+	}
 	ss.srv.logf("delta-synced %s/%s v%d (%d literal bytes)", ss.user, m.Name, version, d.LiteralBytes())
 	return ss.send(&protocol.Ack{FileID: id, Version: version, OK: true})
 }

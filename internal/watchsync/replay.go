@@ -216,6 +216,13 @@ func ReplayFreqMod(cfg ReplayConfig) (*ReplayResult, error) {
 	}
 	res.ClientWire = in + out
 	res.ClientLedger = cliLed.Snapshot()
+	// Drain the server before snapshotting its side: Client.Close only
+	// closes the client half of the pipe, and the handler goroutine may
+	// still be accounting the final message. Close waits for all
+	// handlers (and is idempotent, so the defer stays harmless).
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
 	stats := srv.Stats()
 	res.ServerWire = stats.BytesReceived + stats.BytesSent
 	res.ServerLedger = srvLed.Snapshot()
