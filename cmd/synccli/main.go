@@ -12,8 +12,11 @@
 //
 // -trace writes the operation's span tree in Chrome trace_event format
 // (load it in chrome://tracing or Perfetto); -report prints an indented
-// per-stage summary with wire-byte counts to stderr. See
-// docs/OBSERVABILITY.md.
+// per-stage summary with wire-byte counts to stderr. -trace-dump writes
+// the run's span dump in the obs JSONL format; with -propagate (the
+// default when tracing) the server's spans carry this run's context, so
+// merging the two dumps with tracemerge yields one cross-process
+// timeline. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -57,6 +60,8 @@ func main() {
 		retries   = flag.Int("retries", 1, "attempts per operation (reconnect + resume on failure)")
 		retryBase = flag.Duration("retry-base", 200*time.Millisecond, "initial reconnect backoff")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event file of this run's spans")
+		traceDump = flag.String("trace-dump", "", "write this run's span dump (obs JSONL), mergeable with syncd's via tracemerge")
+		propagate = flag.Bool("propagate", true, "with tracing on, send the trace context to the server so its spans join this run's trace")
 		report    = flag.Bool("report", false, "print a per-stage span summary to stderr")
 	)
 	flag.Usage = usage
@@ -67,7 +72,7 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
-	if *traceOut != "" || *report {
+	if *traceOut != "" || *traceDump != "" || *report {
 		tracer = obs.NewTracer()
 	}
 	// finish flushes the trace and report before any exit, success or
@@ -91,6 +96,21 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "synccli: trace written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
 		}
+		if *traceDump != "" {
+			f, err := os.Create(*traceDump)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "synccli: %v\n", err)
+				return
+			}
+			if err := obs.WriteDump(f, tracer.Dump("synccli")); err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "synccli: writing span dump: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "synccli: span dump written to %s (merge with tracemerge)\n", *traceDump)
+		}
 		if *report {
 			fmt.Fprint(os.Stderr, tracer.Report())
 		}
@@ -107,6 +127,9 @@ func main() {
 	}
 	if tracer != nil {
 		opts = append(opts, syncnet.WithTracer(tracer))
+		if *propagate {
+			opts = append(opts, syncnet.WithTraceContext())
+		}
 	}
 	if *retries > 1 {
 		opts = append(opts, syncnet.WithRetry(syncnet.RetryPolicy{

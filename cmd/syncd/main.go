@@ -23,6 +23,13 @@
 // Prometheus-text metrics at /metrics, a liveness probe at /healthz,
 // and the standard net/http/pprof profiling endpoints (see
 // docs/OBSERVABILITY.md).
+//
+// With -state-dir, a flight recorder keeps the last -flight-records
+// handled requests in a lock-cheap ring; when the durable state
+// crashes, the ring is dumped to <state-dir>/flight-<ts>.jsonl before
+// the process exits — a black box for the post-mortem. -trace-dump
+// writes the server's span dump on shutdown; merge it with a client's
+// dump via the tracemerge command to get one cross-process timeline.
 package main
 
 import (
@@ -62,6 +69,10 @@ func main() {
 
 		obsAddr = flag.String("obs-addr", "",
 			"serve live /metrics (Prometheus text), /healthz and pprof on this address (empty = off)")
+		flightRecords = flag.Int("flight-records", 512,
+			"flight-recorder ring size: last N requests dumped to <state-dir>/flight-<ts>.jsonl on crash (0 = off; needs -state-dir)")
+		traceDump = flag.String("trace-dump", "",
+			"write the server's span dump (obs JSONL) here on shutdown, mergeable with client dumps via tracemerge")
 	)
 	flag.Parse()
 
@@ -76,6 +87,14 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
+	}
+	if *flightRecords > 0 && *stateDir != "" {
+		cfg.Flight = obs.NewFlightRecorder(*flightRecords)
+	}
+	var tracer *obs.Tracer
+	if *traceDump != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
 	}
 
 	var reg *obs.Registry
@@ -166,5 +185,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "syncd: shutdown: %v\n", err)
 		os.Exit(1)
 	}
+	if tracer != nil {
+		if err := writeDump(*traceDump, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "syncd: trace dump: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("syncd: span dump written to %s", *traceDump)
+	}
 	log.Printf("syncd: shutdown complete")
+}
+
+// writeDump writes the server tracer's span dump for tracemerge.
+func writeDump(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteDump(f, tracer.Dump("syncd")); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

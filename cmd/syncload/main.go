@@ -23,7 +23,22 @@
 // Without -addr it hosts the server in-process on a loopback TCP
 // listener; -check then also verifies the traffic-attribution ledgers
 // balance exactly against the metered wire bytes on both sides and
-// exits non-zero on imbalance or any failed operation.
+// exits non-zero on imbalance or any failed operation. -state-dir runs
+// that in-process server durably (a per-mode subdirectory each), so
+// the WAL group-commit phase shows up in the decomposition below.
+//
+// Each mode also prints a per-phase latency decomposition — client
+// send-queue wait, wire round-trip, server inbound-queue wait, request
+// handling, apply, and WAL fsync — from the same histograms syncd
+// serves on /metrics, and folds the phase quantiles into the report's
+// extras. With -trace-out, every account runs a tracer with cross-
+// process context propagation, the -trace-top slowest operations per
+// mode are kept (client spans per operation; the in-process server's
+// spans are filtered to the kept operations), and the merged timeline
+// is written as one Chrome trace_event file. The server-side tracer
+// retains its spans for the whole mode, so -trace-out trades memory
+// for visibility; the per-operation client tracers are reset after
+// every operation.
 //
 // Output is a benchjson raw report (one entry per mode) suitable for
 // `benchjson -compare` gating: make bench-load writes BENCH_load.json.
@@ -33,8 +48,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -66,6 +83,9 @@ type config struct {
 	jsonPath    string
 	check       bool
 	quiet       bool
+	stateDir    string
+	traceOut    string
+	traceTop    int
 }
 
 func run() int {
@@ -83,7 +103,10 @@ func run() int {
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for trace sizes and file content")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write the benchjson raw report here (empty = stdout)")
 	flag.BoolVar(&cfg.check, "check", false, "verify ledger exactness (in-process server only) and exit non-zero on imbalance or failed operations")
-	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress per-mode progress lines")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress per-mode progress lines and phase tables")
+	flag.StringVar(&cfg.stateDir, "state-dir", "", "run the in-process server durably, one subdirectory per mode (empty = in-RAM; needs in-process server)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write a merged client+server Chrome trace of the slowest operations here")
+	flag.IntVar(&cfg.traceTop, "trace-top", 8, "operations to keep per mode for -trace-out, slowest first")
 	flag.Parse()
 
 	for _, m := range strings.Split(modes, ",") {
@@ -105,6 +128,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "syncload: -check needs the in-process server (omit -addr)")
 		return 2
 	}
+	if cfg.stateDir != "" && cfg.addr != "" {
+		fmt.Fprintln(os.Stderr, "syncload: -state-dir configures the in-process server (omit -addr)")
+		return 2
+	}
+	if cfg.traceOut != "" && cfg.traceTop < 1 {
+		fmt.Fprintln(os.Stderr, "syncload: -trace-top must be at least 1")
+		return 2
+	}
 
 	sizes := traceSizes(cfg.seed, cfg.maxSize)
 	rep := rawReport{Note: fmt.Sprintf(
@@ -112,8 +143,10 @@ func run() int {
 		cfg.accounts, cfg.rate, cfg.duration, cfg.batch, cfg.maxSize, cfg.seed)}
 
 	failed := false
+	var traceDumps []obs.TraceDump
+	var traceKept int
 	for _, mode := range cfg.modes {
-		res, err := runMode(cfg, mode, sizes)
+		res, col, err := runMode(cfg, mode, sizes)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "syncload: mode %s: %v\n", mode, err)
 			return 1
@@ -123,11 +156,21 @@ func run() int {
 				mode, res.Extra["reqs-per-sec"], int64(res.Extra["p50-us"]), int64(res.Extra["p99-us"]),
 				int64(res.Extra["p999-us"]), int64(res.Extra["ops"]), int64(res.Extra["dropped-ops"]), int64(res.Extra["failed-ops"]))
 		}
+		if col != nil {
+			traceDumps = append(traceDumps, col.dumps...)
+			traceKept += col.kept
+		}
 		if cfg.check && res.Extra["failed-ops"] > 0 {
 			fmt.Fprintf(os.Stderr, "syncload: mode %s: %d failed operations\n", mode, int64(res.Extra["failed-ops"]))
 			failed = true
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if cfg.traceOut != "" {
+		if err := writeMergedTrace(cfg.traceOut, traceDumps, traceKept); err != nil {
+			fmt.Fprintf(os.Stderr, "syncload: %v\n", err)
+			return 1
+		}
 	}
 
 	out := os.Stdout
@@ -193,10 +236,19 @@ type arrival struct {
 type account struct {
 	client *syncnet.Client
 	queue  chan arrival
+	tracer *obs.Tracer
 }
 
-func runMode(cfg config, mode string, sizes []int64) (rawEntry, error) {
+func runMode(cfg config, mode string, sizes []int64) (rawEntry, *traceCollector, error) {
 	resetPeakRSS()
+	reg := obs.NewRegistry()
+	var col *traceCollector
+	var srvTracer *obs.Tracer
+	if cfg.traceOut != "" {
+		col = &traceCollector{top: cfg.traceTop, mode: mode}
+		srvTracer = obs.NewTracer()
+	}
+
 	addr := cfg.addr
 	var srv *syncnet.Server
 	var srvLedger *ledger.Ledger
@@ -204,22 +256,36 @@ func runMode(cfg config, mode string, sizes []int64) (rawEntry, error) {
 		if cfg.check {
 			srvLedger = ledger.New()
 		}
-		srv = syncnet.NewServer(syncnet.ServerConfig{
+		scfg := syncnet.ServerConfig{
 			Compression: comp.None,
 			MaxInflight: cfg.maxInflight,
 			Ledger:      srvLedger,
-		})
+			Metrics:     reg,
+			Tracer:      srvTracer,
+		}
+		if cfg.stateDir != "" {
+			scfg.StateDir = filepath.Join(cfg.stateDir, mode)
+			if err := os.MkdirAll(scfg.StateDir, 0o755); err != nil {
+				return rawEntry{}, nil, err
+			}
+		}
+		var err error
+		srv, err = syncnet.OpenServer(scfg)
+		if err != nil {
+			return rawEntry{}, nil, err
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return rawEntry{}, err
+			return rawEntry{}, nil, err
 		}
 		go srv.Serve(l)
 		defer srv.Close()
 		addr = l.Addr().String()
 	}
 
-	reg := obs.NewRegistry()
 	latencyUS := reg.Histogram("syncload_latency_us", "Operation latency from scheduled arrival, microseconds.")
+	queueWaitUS := reg.Histogram("syncload_queue_wait_us", "Microseconds an operation waited in its account's send queue before work started.")
+	serviceUS := reg.Histogram("syncload_service_us", "Microseconds from an operation leaving its queue to its last acknowledgement.")
 	var dropped, failedOps, files atomic.Int64
 
 	cliLedger := ledger.New()
@@ -228,12 +294,20 @@ func runMode(cfg config, mode string, sizes []int64) (rawEntry, error) {
 	if cfg.check {
 		cliOpts = append(cliOpts, syncnet.WithLedger(cliLedger))
 	}
+	cliOpts = append(cliOpts, syncnet.WithClientMetrics(reg))
 	for i := range accounts {
-		c, err := syncnet.Dial("tcp", addr, fmt.Sprintf("load-%s-%04d", mode, i), "syncload", cliOpts...)
-		if err != nil {
-			return rawEntry{}, fmt.Errorf("dial account %d: %w", i, err)
+		opts := cliOpts
+		var tr *obs.Tracer
+		if col != nil {
+			tr = obs.NewTracer()
+			opts = append(opts[:len(opts):len(opts)],
+				syncnet.WithTracer(tr), syncnet.WithTraceContext())
 		}
-		accounts[i] = &account{client: c, queue: make(chan arrival, 4)}
+		c, err := syncnet.Dial("tcp", addr, fmt.Sprintf("load-%s-%04d", mode, i), "syncload", opts...)
+		if err != nil {
+			return rawEntry{}, nil, fmt.Errorf("dial account %d: %w", i, err)
+		}
+		accounts[i] = &account{client: c, queue: make(chan arrival, 4), tracer: tr}
 	}
 
 	var wg sync.WaitGroup
@@ -246,6 +320,8 @@ func runMode(cfg config, mode string, sizes []int64) (rawEntry, error) {
 			rng := newXorshift(uint64(cfg.seed) ^ uint64(acct)*0x9E3779B97F4A7C15 ^ hashMode(mode))
 			batch := make([]syncnet.FileUpload, cfg.batch)
 			for arr := range a.queue {
+				started := time.Now()
+				queueWaitUS.Observe(started.Sub(arr.at).Microseconds())
 				for j := range batch {
 					size := sizes[int(uint64(arr.seq)*uint64(cfg.batch)+uint64(j))%len(sizes)]
 					batch[j] = syncnet.FileUpload{
@@ -266,12 +342,31 @@ func runMode(cfg config, mode string, sizes []int64) (rawEntry, error) {
 				case "bundle":
 					_, err = a.client.UploadBundle(batch)
 				}
+				// The per-operation tracer is drained (and reset) whether
+				// the operation succeeded or not, so tracing never grows
+				// client memory with the run; only successes compete for
+				// the slowest-operation reservoir.
+				var spans []obs.SpanData
+				if a.tracer != nil {
+					spans = a.tracer.Spans()
+					a.tracer.Reset()
+				}
 				if err != nil {
 					failedOps.Add(1)
 					continue
 				}
 				files.Add(int64(cfg.batch))
-				latencyUS.Observe(time.Since(arr.at).Microseconds())
+				lat := time.Since(arr.at)
+				latencyUS.Observe(lat.Microseconds())
+				serviceUS.Observe(time.Since(started).Microseconds())
+				if col != nil {
+					col.offer(lat.Microseconds(), obs.TraceDump{
+						Process:     "syncload/" + mode,
+						TraceID:     a.tracer.TraceID(),
+						EpochUnixNs: a.tracer.EpochUnixNano(),
+						Spans:       spans,
+					})
+				}
 			}
 		}(i, a)
 	}
@@ -327,20 +422,189 @@ func runMode(cfg config, mode string, sizes []int64) (rawEntry, error) {
 			"peak-rss-bytes": float64(readPeakRSS()),
 		},
 	}
+	for _, ph := range phaseOrder(reg) {
+		if ph.h.Count() == 0 {
+			continue
+		}
+		entry.Extra[ph.key+"-p50-us"] = float64(ph.h.Quantile(0.50))
+		entry.Extra[ph.key+"-p99-us"] = float64(ph.h.Quantile(0.99))
+	}
+	if !cfg.quiet {
+		printPhaseTable(os.Stderr, mode, reg)
+	}
+	if col != nil {
+		col.finish(obs.TraceDump{
+			Process:     "syncd/" + mode,
+			TraceID:     srvTracer.TraceID(),
+			EpochUnixNs: srvTracer.EpochUnixNano(),
+			Spans:       srvTracer.Spans(),
+		})
+	}
 
 	if cfg.check {
 		if err := srv.Close(); err != nil {
-			return entry, fmt.Errorf("server close: %w", err)
+			return entry, col, fmt.Errorf("server close: %w", err)
 		}
 		st := srv.Stats()
 		if got, want := srvLedger.Total(), st.BytesReceived+st.BytesSent; got != want {
-			return entry, fmt.Errorf("server ledger total %d ≠ wire total %d (off by %+d)", got, want, got-want)
+			return entry, col, fmt.Errorf("server ledger total %d ≠ wire total %d (off by %+d)", got, want, got-want)
 		}
 		if got, want := cliLedger.Total(), cliIn+cliOut; got != want {
-			return entry, fmt.Errorf("client ledger total %d ≠ wire total %d (off by %+d)", got, want, got-want)
+			return entry, col, fmt.Errorf("client ledger total %d ≠ wire total %d (off by %+d)", got, want, got-want)
 		}
 	}
-	return entry, nil
+	return entry, col, nil
+}
+
+// phase pairs a decomposition row with its Extra key and display label.
+type phase struct {
+	key   string
+	label string
+	h     *obs.Histogram
+}
+
+// phaseOrder lists the latency decomposition in causal order: where an
+// operation's time goes from its scheduled arrival to the last ACK.
+// Rows whose histogram never observed anything (e.g. server-side phases
+// when loading a remote -addr, or the WAL phase without -state-dir) are
+// skipped by the callers.
+func phaseOrder(reg *obs.Registry) []phase {
+	return []phase{
+		{"queue-wait", "client send-queue wait", reg.Histogram("syncload_queue_wait_us", "")},
+		{"reply-wait", "client wire round-trip wait", reg.Histogram("syncnet_client_reply_wait_us", "")},
+		{"inbound-wait", "server inbound-queue wait", reg.Histogram("syncd_inbound_queue_wait_us", "")},
+		{"request", "server request handling", reg.Histogram("syncd_request_duration_us", "")},
+		{"apply", "server apply (in-memory)", reg.Histogram("syncd_apply_us", "")},
+		{"fsync", "server WAL group commit", reg.Histogram("syncd_wal_fsync_duration_us", "")},
+		{"service", "operation service (whole batch)", reg.Histogram("syncload_service_us", "")},
+	}
+}
+
+// printPhaseTable renders the per-phase p50/p99 decomposition for one
+// mode. Quantiles come from power-of-two-bucketed histograms, so two
+// values within obs.QuantileStepTolerancePct of each other are the same
+// bucket — read the table for orders of magnitude, not exact ratios.
+func printPhaseTable(w io.Writer, mode string, reg *obs.Registry) {
+	fmt.Fprintf(w, "syncload: %s phase decomposition (µs):\n", mode)
+	fmt.Fprintf(w, "  %-32s %10s %10s %10s\n", "phase", "count", "p50", "p99")
+	for _, ph := range phaseOrder(reg) {
+		if ph.h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-32s %10d %10d %10d\n",
+			ph.label, ph.h.Count(), ph.h.Quantile(0.50), ph.h.Quantile(0.99))
+	}
+}
+
+// opTrace is one reservoir entry: an operation's latency and its span
+// dump (the spans its account tracer recorded for just that op).
+type opTrace struct {
+	latUS int64
+	dump  obs.TraceDump
+}
+
+// traceCollector keeps the -trace-top slowest successful operations of
+// one mode and, on finish, joins them with the server spans they caused
+// into mergeable per-process dumps.
+type traceCollector struct {
+	mu    sync.Mutex
+	top   int
+	mode  string
+	ops   []opTrace
+	kept  int
+	dumps []obs.TraceDump
+}
+
+// offer competes one finished operation for the reservoir: below
+// capacity it is kept, above it the current minimum-latency entry is
+// evicted if this one was slower.
+func (tc *traceCollector) offer(latUS int64, d obs.TraceDump) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if len(tc.ops) < tc.top {
+		tc.ops = append(tc.ops, opTrace{latUS, d})
+		return
+	}
+	min := 0
+	for i := range tc.ops {
+		if tc.ops[i].latUS < tc.ops[min].latUS {
+			min = i
+		}
+	}
+	if latUS > tc.ops[min].latUS {
+		tc.ops[min] = opTrace{latUS, d}
+	}
+}
+
+// finish resolves the reservoir against the server's span dump: kept
+// operations from the same account fold into one client dump (their
+// tracer — hence TraceID and epoch — is shared), and the server dump is
+// filtered to the spans a kept operation caused (a span carrying a kept
+// remote context, plus its local descendants; the server tracer assigns
+// child IDs after parents, so one in-order pass closes the set).
+func (tc *traceCollector) finish(srvDump obs.TraceDump) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.kept = len(tc.ops)
+
+	groups := make(map[obs.TraceID]int)
+	kept := make(map[obs.TraceID]map[uint64]bool)
+	for _, op := range tc.ops {
+		id := op.dump.TraceID
+		if gi, ok := groups[id]; ok {
+			tc.dumps[gi].Spans = append(tc.dumps[gi].Spans, op.dump.Spans...)
+		} else {
+			groups[id] = len(tc.dumps)
+			tc.dumps = append(tc.dumps, op.dump)
+		}
+		if kept[id] == nil {
+			kept[id] = make(map[uint64]bool)
+		}
+		for _, s := range op.dump.Spans {
+			kept[id][s.ID] = true
+		}
+	}
+
+	included := make(map[uint64]bool)
+	var spans []obs.SpanData
+	for _, s := range srvDump.Spans {
+		ok := false
+		switch {
+		case s.RemoteParent != 0:
+			ok = kept[s.RemoteTrace][s.RemoteParent]
+		case s.Parent != 0:
+			ok = included[s.Parent]
+		}
+		if ok {
+			included[s.ID] = true
+			spans = append(spans, s)
+		}
+	}
+	if len(spans) > 0 {
+		srvDump.Spans = spans
+		tc.dumps = append(tc.dumps, srvDump)
+	}
+	tc.ops = nil
+}
+
+// writeMergedTrace merges every collected dump onto one timeline (the
+// tracers share real wall clocks, so modes appear in sequence) and
+// writes the Chrome trace_event file.
+func writeMergedTrace(path string, dumps []obs.TraceDump, kept int) error {
+	merged := obs.Merge(dumps...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteMergedChromeTrace(f, merged); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("writing merged trace: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "syncload: merged trace of the %d slowest ops (%d spans) written to %s (open in chrome://tracing or Perfetto)\n",
+		kept, len(merged), path)
+	return nil
 }
 
 func meanNs(h *obs.Histogram) float64 {

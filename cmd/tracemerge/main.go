@@ -1,0 +1,68 @@
+// Command tracemerge joins per-process span dumps (written by synccli
+// -trace-dump, syncd -trace-dump, or obs.WriteDump) into one Chrome
+// trace_event timeline: spans a server recorded under a propagated
+// client context re-attach as children of the originating client
+// operation, and the dumps' wall-clock epochs align the two timelines.
+//
+// Usage:
+//
+//	tracemerge -o merged.json client.jsonl server.jsonl
+//
+// Load the output in chrome://tracing or ui.perfetto.dev; each joined
+// operation renders as one track with the client op on top and the
+// server's work nested inside it. See docs/OBSERVABILITY.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudsync/internal/obs"
+)
+
+func main() {
+	out := flag.String("o", "merged.json", "output Chrome trace_event file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tracemerge [-o merged.json] dump.jsonl [dump.jsonl ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dumps := make([]obs.TraceDump, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		d, err := obs.ReadDump(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		dumps = append(dumps, d)
+	}
+
+	merged := obs.Merge(dumps...)
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := obs.WriteMergedChromeTrace(f, merged); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fail(fmt.Errorf("writing %s: %w", *out, err))
+	}
+	fmt.Printf("tracemerge: %d spans from %d dumps -> %s (open in chrome://tracing or Perfetto)\n",
+		len(merged), len(dumps), *out)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracemerge: %v\n", err)
+	os.Exit(1)
+}

@@ -39,6 +39,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"cloudsync/internal/obs"
 )
 
 // result is one parsed benchmark line.
@@ -321,10 +323,11 @@ func compareLoad(name string, o, n rawEntry, tolerancePct float64) int {
 		// resolution to roughly one bucket step (2×): a true p99 sitting
 		// near a bucket boundary can legitimately report from either
 		// side. Gating tighter than a bucket step would flag instrument
-		// noise, so the p99 tolerance is floored at 125%.
+		// noise, so the p99 tolerance is floored at the histogram's own
+		// resolution contract (obs.QuantileStepTolerancePct).
 		p99Tol := tolerancePct
-		if p99Tol < 125 {
-			p99Tol = 125
+		if p99Tol < obs.QuantileStepTolerancePct {
+			p99Tol = obs.QuantileStepTolerancePct
 		}
 		growPct := (newP99 - oldP99) / oldP99 * 100
 		switch {

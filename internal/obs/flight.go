@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// FlightRecord is one entry in a FlightRecorder: a completed (or
+// notable) event with a wall-clock timestamp and a few fixed fields.
+// It is deliberately flat — the recorder is a crash black-box, so a
+// record must serialize without chasing pointers into live state.
+type FlightRecord struct {
+	// Seq is the record's position in the recorder's total order
+	// (assigned by Record; later records have larger Seq).
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock time in Unix nanoseconds.
+	At int64 `json:"at_unix_ns"`
+	// Name labels the event (dotted layer.operation by convention).
+	Name string `json:"name"`
+	// User is the acting account, when the event has one.
+	User string `json:"user,omitempty"`
+	// DurUS is the event's duration in microseconds (0 for instants).
+	DurUS int64 `json:"dur_us,omitempty"`
+	// Err carries the failure message for events that failed.
+	Err string `json:"err,omitempty"`
+}
+
+// FlightRecorder is a bounded ring of recent FlightRecords, built so
+// Record is cheap enough for a request hot path: one atomic increment
+// plus one atomic pointer store, no locks, no allocation beyond the
+// record itself. Older records are overwritten once the ring is full.
+// Snapshot and WriteJSONL read whatever is current — they are meant
+// for the moment after a crash latch trips, when the last N operations
+// are the evidence. A nil *FlightRecorder is a valid no-op.
+type FlightRecorder struct {
+	seq   atomic.Uint64
+	slots []atomic.Pointer[FlightRecord]
+}
+
+// NewFlightRecorder returns a recorder keeping the most recent n
+// records (n < 1 is raised to 1).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FlightRecord], n)}
+}
+
+// Cap reports the ring size (0 on nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Record stores one record, overwriting the oldest once the ring is
+// full. The record's Seq field is assigned here; other fields are the
+// caller's. Safe for concurrent use; no-op on nil.
+func (f *FlightRecorder) Record(r FlightRecord) {
+	if f == nil {
+		return
+	}
+	seq := f.seq.Add(1)
+	r.Seq = seq
+	f.slots[(seq-1)%uint64(len(f.slots))].Store(&r)
+}
+
+// Snapshot returns the current records in sequence order (oldest
+// first). Records being overwritten concurrently may be skipped; the
+// result is always internally consistent and sorted. Nil and empty
+// recorders return nil.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightRecord, 0, len(f.slots))
+	for i := range f.slots {
+		if p := f.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSONL writes the snapshot one JSON object per line, oldest
+// first — the flight-recorder dump format (flight-<ts>.jsonl).
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range f.Snapshot() {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("obs: writing flight record: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFlightDump parses a dump written by WriteJSONL.
+func ReadFlightDump(r io.Reader) ([]FlightRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []FlightRecord
+	for dec.More() {
+		var rec FlightRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("obs: reading flight record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

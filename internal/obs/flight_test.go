@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRingWraps(t *testing.T) {
+	f := NewFlightRecorder(4)
+	if f.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", f.Cap())
+	}
+	for i := 1; i <= 10; i++ {
+		f.Record(FlightRecord{At: int64(i), Name: fmt.Sprintf("req-%d", i), DurUS: int64(i * 10)})
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot kept %d records, want 4", len(snap))
+	}
+	for i, r := range snap {
+		wantSeq := uint64(7 + i) // the ring keeps the newest 4 of 10
+		if r.Seq != wantSeq {
+			t.Fatalf("record %d: Seq %d, want %d (snapshot %+v)", i, r.Seq, wantSeq, snap)
+		}
+		if r.Name != fmt.Sprintf("req-%d", wantSeq) {
+			t.Fatalf("record %d: Name %q does not match Seq %d", i, r.Name, wantSeq)
+		}
+	}
+}
+
+func TestFlightRecorderDumpRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(FlightRecord{At: 100, Name: "server.commit", User: "alice", DurUS: 42})
+	f.Record(FlightRecord{At: 200, Name: "server.crash", Err: "durable state dead"})
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadFlightDump(&buf)
+	if err != nil {
+		t.Fatalf("ReadFlightDump: %v", err)
+	}
+	if want := f.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("roundtrip:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := ReadFlightDump(bytes.NewBufferString("{bad json")); err == nil {
+		t.Fatal("corrupt flight dump parsed without error")
+	}
+}
+
+func TestFlightRecorderNilAndTiny(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightRecord{Name: "x"}) // must not panic
+	if f.Snapshot() != nil {
+		t.Fatal("nil recorder snapshot not nil")
+	}
+	if f.Cap() != 0 {
+		t.Fatalf("nil Cap = %d", f.Cap())
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteJSONL: err %v, %d bytes", err, buf.Len())
+	}
+
+	tiny := NewFlightRecorder(0) // raised to 1
+	tiny.Record(FlightRecord{Name: "a"})
+	tiny.Record(FlightRecord{Name: "b"})
+	snap := tiny.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "b" {
+		t.Fatalf("size-1 ring kept %+v, want just b", snap)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Record(FlightRecord{Name: "op"})
+			}
+		}()
+	}
+	wg.Wait()
+	snap := f.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("got %d records, want 16", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot not strictly ordered: %d then %d", snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func mkTrace(b byte) TraceID {
+	var id TraceID
+	id[0] = b
+	return id
+}
+
+func TestTraceIDStringParse(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned the zero ID")
+	}
+	back, err := ParseTraceID(id.String())
+	if err != nil {
+		t.Fatalf("ParseTraceID: %v", err)
+	}
+	if back != id {
+		t.Fatalf("roundtrip: %v != %v", back, id)
+	}
+	if _, err := ParseTraceID("not-hex"); err == nil {
+		t.Fatal("garbage trace ID parsed without error")
+	}
+	if (TraceID{}).String() != "00000000000000000000000000000000" {
+		t.Fatalf("zero TraceID string: %q", TraceID{}.String())
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	op := tr.Start("client.op", String("name", "a.txt"), Int("size", 42))
+	att := op.Child("client.attempt")
+	att.End()
+	op.End()
+	tr.StartRemote("server.commit", mkTrace(9), 7, String("user", "alice")).End()
+	tr.Start("unfinished") // never ended: EndNs must stay 0
+
+	d := tr.Dump("testproc")
+	if d.TraceID.IsZero() || d.EpochUnixNs == 0 {
+		t.Fatalf("dump missing identity: %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, d); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	got, err := ReadDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if got.Process != d.Process || got.TraceID != d.TraceID || got.EpochUnixNs != d.EpochUnixNs {
+		t.Fatalf("meta mismatch: got %+v want %+v", got, d)
+	}
+	if len(got.Spans) != len(d.Spans) {
+		t.Fatalf("got %d spans, want %d", len(got.Spans), len(d.Spans))
+	}
+	for i, w := range d.Spans {
+		g := got.Spans[i]
+		if g.ID != w.ID || g.Parent != w.Parent || g.Root != w.Root || g.Name != w.Name ||
+			g.Start != w.Start || g.Ended != w.Ended ||
+			g.RemoteTrace != w.RemoteTrace || g.RemoteParent != w.RemoteParent {
+			t.Fatalf("span %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+		if w.Ended && g.End != w.End {
+			t.Fatalf("span %d end mismatch: got %v want %v", i, g.End, w.End)
+		}
+		// Attribute values stringify on the wire; keys and rendered
+		// values must survive.
+		gm, wm := g.attrMap(), w.attrMap()
+		if len(gm) != len(wm) {
+			t.Fatalf("span %d attrs: got %v want %v", i, gm, wm)
+		}
+		for k, v := range wm {
+			if gm[k] != v {
+				t.Fatalf("span %d attr %q: got %q want %q", i, k, gm[k], v)
+			}
+		}
+	}
+
+	if _, err := ReadDump(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty dump parsed without error")
+	}
+}
+
+// TestMergeReparentsAndAlignsClocks pins the tentpole join: a server
+// span carrying a remote reference becomes a child of the referenced
+// client span, every span of the joined tree shares one Root, and the
+// server dump's later epoch shifts its spans onto the client timeline.
+func TestMergeReparentsAndAlignsClocks(t *testing.T) {
+	cid, sid := mkTrace(1), mkTrace(2)
+	const epoch = int64(1_000_000_000)
+	client := TraceDump{
+		Process: "client", TraceID: cid, EpochUnixNs: epoch,
+		Spans: []SpanData{
+			{ID: 1, Name: "client.op", Start: 0, End: 100 * time.Millisecond, Ended: true},
+			{ID: 2, Parent: 1, Root: 1, Name: "client.attempt", Start: time.Millisecond, End: 99 * time.Millisecond, Ended: true},
+		},
+	}
+	server := TraceDump{
+		Process: "server", TraceID: sid, EpochUnixNs: epoch + int64(10*time.Millisecond),
+		Spans: []SpanData{
+			{ID: 1, Name: "server.commit", RemoteTrace: cid, RemoteParent: 2,
+				Start: 0, End: 50 * time.Millisecond, Ended: true},
+			{ID: 2, Parent: 1, Root: 1, Name: "server.fsync",
+				Start: time.Millisecond, End: 2 * time.Millisecond, Ended: true},
+			{ID: 3, Name: "server.orphan", RemoteTrace: mkTrace(7), RemoteParent: 99,
+				Start: 0, Ended: false},
+		},
+	}
+
+	merged := Merge(client, server)
+	if len(merged) != 5 {
+		t.Fatalf("merged %d spans, want 5", len(merged))
+	}
+	byName := map[string]MergedSpan{}
+	for _, m := range merged {
+		byName[m.Name] = m
+	}
+
+	if got, want := byName["server.commit"].Parent, byName["client.attempt"].ID; got != want {
+		t.Fatalf("server.commit parent %d, want client.attempt %d", got, want)
+	}
+	if got, want := byName["server.fsync"].Parent, byName["server.commit"].ID; got != want {
+		t.Fatalf("server.fsync parent %d, want server.commit %d", got, want)
+	}
+	opID := byName["client.op"].ID
+	for _, name := range []string{"client.op", "client.attempt", "server.commit", "server.fsync"} {
+		if got := byName[name].Root; got != opID {
+			t.Fatalf("%s root %d, want client.op %d", name, got, opID)
+		}
+	}
+	// Clock alignment: the server dump's epoch is 10ms later, so
+	// server.commit (local offset 0) lands at 10ms on the shared line.
+	if got, want := byName["server.commit"].Start, 10*time.Millisecond; got != want {
+		t.Fatalf("server.commit start %v, want %v", got, want)
+	}
+	// An unresolvable remote reference stays a root of its own.
+	orphan := byName["server.orphan"]
+	if orphan.Parent != 0 || orphan.Root != orphan.ID {
+		t.Fatalf("orphan not a root: %+v", orphan)
+	}
+	// Output is sorted by start.
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Start < merged[i-1].Start {
+			t.Fatalf("merge output unsorted at %d: %v after %v", i, merged[i].Start, merged[i-1].Start)
+		}
+	}
+}
+
+// TestMergeZeroEpochKeepsOffsets: sim tracers carry no wall clock; their
+// dumps must merge with raw offsets instead of a bogus shift.
+func TestMergeZeroEpochKeepsOffsets(t *testing.T) {
+	d := TraceDump{Process: "sim", Spans: []SpanData{
+		{ID: 1, Name: "tick", Start: 5 * time.Second, End: 6 * time.Second, Ended: true},
+	}}
+	merged := Merge(d)
+	if len(merged) != 1 || merged[0].Start != 5*time.Second {
+		t.Fatalf("zero-epoch merge: %+v", merged)
+	}
+}
+
+func TestWriteMergedChromeTrace(t *testing.T) {
+	cid := mkTrace(3)
+	client := TraceDump{Process: "client", TraceID: cid, EpochUnixNs: 1,
+		Spans: []SpanData{{ID: 1, Name: "client.op", Start: time.Millisecond, End: 3 * time.Millisecond, Ended: true}}}
+	server := TraceDump{Process: "server", TraceID: mkTrace(4), EpochUnixNs: 1,
+		Spans: []SpanData{{ID: 1, Name: "server.commit", RemoteTrace: cid, RemoteParent: 1,
+			Start: 2 * time.Millisecond, End: 3 * time.Millisecond, Ended: true}}}
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, Merge(client, server)); err != nil {
+		t.Fatalf("WriteMergedChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Tid  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Tid != doc.TraceEvents[1].Tid {
+		t.Fatal("joined spans did not share a track (tid)")
+	}
+	procs := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		procs[e.Args["process"]] = true
+	}
+	if !procs["client"] || !procs["server"] {
+		t.Fatalf("events missing process labels: %v", procs)
+	}
+	// Timestamps are rebased: the earliest span starts at 0.
+	if doc.TraceEvents[0].Ts != 0 {
+		t.Fatalf("first event ts %v, want 0", doc.TraceEvents[0].Ts)
+	}
+}
+
+func TestStartRemoteOnPlainAndNilTracer(t *testing.T) {
+	var nilT *Tracer
+	if s := nilT.StartRemote("x", mkTrace(1), 1); s != nil {
+		t.Fatal("nil tracer StartRemote returned a span")
+	}
+	tr := NewTracer()
+	// A zero remote context records a plain root, not a remote one.
+	tr.StartRemote("plain", TraceID{}, 0).End()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].RemoteParent != 0 || !spans[0].RemoteTrace.IsZero() {
+		t.Fatalf("zero-context StartRemote recorded a remote ref: %+v", spans)
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+// TestQuantileResolutionContract pins the documented bucket-resolution
+// caveat: with every observation in one power-of-two bucket, any
+// quantile can only land inside that bucket, and the spread between the
+// lowest and highest representable answer stays within
+// QuantileStepTolerancePct — the floor every quantile comparison (bench
+// gates, phase decompositions) must respect.
+func TestQuantileResolutionContract(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("quantile_resolution_us", "resolution contract probe")
+	for i := 0; i < 1000; i++ {
+		h.Observe(700) // one bucket: (512, 1024]
+	}
+	const lo, hi = 512, 1024
+	p01, p99 := h.Quantile(0.01), h.Quantile(0.99)
+	for _, q := range []int64{p01, h.Quantile(0.50), p99} {
+		if q <= lo || q > hi {
+			t.Fatalf("quantile %d escaped the (%d, %d] bucket", q, lo, hi)
+		}
+	}
+	// The worst-case within-bucket spread is what the tolerance constant
+	// exists to cover.
+	if spread := float64(p99-p01) / float64(p01) * 100; spread > QuantileStepTolerancePct {
+		t.Fatalf("within-bucket spread %.0f%% exceeds QuantileStepTolerancePct %d",
+			spread, QuantileStepTolerancePct)
+	}
+	// Two histograms whose true quantiles differ by less than a bucket
+	// step can report identical values: 700 vs 1000 share the bucket.
+	h2 := reg.Histogram("quantile_resolution2_us", "resolution contract probe")
+	for i := 0; i < 1000; i++ {
+		h2.Observe(1000)
+	}
+	if got, want := h2.Quantile(0.50), h.Quantile(0.50); got != want {
+		t.Fatalf("same-bucket medians differ: %d vs %d", got, want)
+	}
+}
+
+// TestQuantileOverflowBucket: ranks landing in the +Inf bucket clamp to
+// the largest finite bound rather than inventing a number.
+func TestQuantileOverflowBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("quantile_overflow_us", "overflow probe")
+	h.Observe(int64(1) << 55)
+	if got, want := h.Quantile(0.99), BucketBound(HistBuckets-1); got != want {
+		t.Fatalf("overflow quantile %d, want largest finite bound %d", got, want)
+	}
+}

@@ -127,14 +127,28 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// QuantileStepTolerancePct is the smallest relative band (in percent)
+// within which two Quantile results must be treated as equal: adjacent
+// representable answers inside one power-of-two bucket can differ by
+// up to the bucket's full width, i.e. up to 2×. Comparisons of
+// quantiles — regression gates, phase decompositions, bench diffs —
+// must therefore never use a tolerance tighter than this; the
+// bench-load diff floor in cmd (obs/benchjson) is built on it.
+const QuantileStepTolerancePct = 125
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values
 // by log-linear interpolation within the power-of-two bucket holding
-// the target rank: exact to within the bucket's width, which on this
-// scale means a bounded ~2× relative error in the worst case and far
-// less in practice — good enough to separate a p99 regression from
-// noise without per-sample storage. Returns 0 on a nil or empty
-// histogram; ranks landing in the +Inf bucket report the largest
-// finite bound.
+// the target rank.
+//
+// Resolution contract: the answer is exact only to the width of the
+// bucket the rank lands in. Buckets double, so the true quantile can
+// be anywhere in (bound/2, bound] — a worst-case ~2× relative error,
+// though interpolation does far better when observations spread inside
+// the bucket. Two quantiles closer than QuantileStepTolerancePct
+// percent apart are indistinguishable on this scale and must not be
+// compared more finely (phase decompositions and bench gates included).
+// Returns 0 on a nil or empty histogram; ranks landing in the +Inf
+// bucket report the largest finite bound.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0

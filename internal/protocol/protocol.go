@@ -91,6 +91,8 @@ func (t MsgType) String() string {
 		return "list-request"
 	case TypeListing:
 		return "listing"
+	case TypeTraceCtx:
+		return "trace-ctx"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -108,11 +110,23 @@ type Message interface {
 // Fingerprint matches dedup.Fingerprint (MD5).
 type Fingerprint = [md5.Size]byte
 
+// Capability bits carried in Hello.Caps.
+const (
+	// CapTrace: the sender can emit and interpret TraceCtx frames
+	// (cross-process trace propagation).
+	CapTrace uint32 = 1 << 0
+)
+
 // Hello opens a session.
 type Hello struct {
 	User    string
 	Device  string
 	Version string
+	// Caps advertises optional capabilities (Cap* bits). The field is
+	// wire-optional: a zero Caps encodes to exactly the legacy Hello
+	// bytes, and a legacy Hello decodes with Caps zero — so peers of
+	// different versions interoperate unchanged.
+	Caps uint32
 }
 
 // Type implements Message.
@@ -416,6 +430,8 @@ func newMessage(t MsgType) (Message, bool) {
 		return &ListRequest{}, true
 	case TypeListing:
 		return &Listing{}, true
+	case TypeTraceCtx:
+		return &TraceCtx{}, true
 	default:
 		return nil, false
 	}
@@ -496,6 +512,11 @@ func (m *Hello) encodeBody(e *encBuf) {
 	e.str(m.User)
 	e.str(m.Device)
 	e.str(m.Version)
+	// Caps is a trailing optional field: omitted when zero so a
+	// capability-free Hello stays byte-identical to the legacy form.
+	if m.Caps != 0 {
+		e.u32(m.Caps)
+	}
 }
 
 func (m *Hello) decodeBody(d *decBuf) (err error) {
@@ -505,7 +526,13 @@ func (m *Hello) decodeBody(d *decBuf) (err error) {
 	if m.Device, err = d.str(); err != nil {
 		return err
 	}
-	m.Version, err = d.str()
+	if m.Version, err = d.str(); err != nil {
+		return err
+	}
+	m.Caps = 0
+	if d.remaining() > 0 {
+		m.Caps, err = d.u32()
+	}
 	return err
 }
 

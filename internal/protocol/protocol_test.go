@@ -11,6 +11,8 @@ import (
 func allMessages() []Message {
 	return []Message{
 		&Hello{User: "alice", Device: "M1", Version: "1.0"},
+		&Hello{User: "bob", Device: "M2", Version: "1.1", Caps: CapTrace},
+		&TraceCtx{TraceID: [16]byte{1, 2, 3, 4}, SpanID: 99},
 		&IndexUpdate{
 			FileID: 7, Name: "docs/report.txt", Size: 1 << 20,
 			FileHash:  md5.Sum([]byte("content")),

@@ -1,0 +1,38 @@
+package protocol
+
+// Trace-propagation message type: an opt-in (Hello CapTrace) prefix
+// frame carrying the client's trace context, so the server can parent
+// its spans under the client operation that caused them.
+const (
+	// TypeTraceCtx sets the session's current trace context. It stays
+	// in effect for every subsequent request until replaced by the next
+	// TraceCtx. Servers that advertised CapTrace absorb it silently (no
+	// reply, no state mutation beyond the session's trace fields).
+	TypeTraceCtx MsgType = iota + 21
+)
+
+// TraceCtx names the remote parent of the requests that follow it: the
+// client tracer's 128-bit identity plus the span ID of the in-flight
+// client operation. A client sends one per operation attempt — cheaper
+// than a per-message field, and exactly charged to the ledger's
+// framing cause since it carries no user payload.
+type TraceCtx struct {
+	TraceID [16]byte
+	SpanID  uint64
+}
+
+// Type implements Message.
+func (*TraceCtx) Type() MsgType { return TypeTraceCtx }
+
+func (m *TraceCtx) encodeBody(e *encBuf) {
+	e.raw(m.TraceID[:])
+	e.u64(m.SpanID)
+}
+
+func (m *TraceCtx) decodeBody(d *decBuf) (err error) {
+	if err = d.fingerprint(&m.TraceID); err != nil {
+		return err
+	}
+	m.SpanID, err = d.u64()
+	return err
+}

@@ -28,9 +28,10 @@ import (
 // always selects the highest complete snapshot, so recovery is
 // deterministic whatever the crash point.
 type Store struct {
-	dir string
-	gen uint64
-	log *Log
+	dir     string
+	gen     uint64
+	log     *Log
+	metrics *Metrics
 }
 
 const (
@@ -133,6 +134,15 @@ func Open(dir string, replay func(rec []byte) error) (*Store, error) {
 	return &Store{dir: dir, gen: gen, log: log}, nil
 }
 
+// SetMetrics installs (or, with nil, removes) the store's instrument
+// set; it propagates to the current log and survives the log swap a
+// Compact performs. Install before serving traffic — SetMetrics is not
+// synchronized against concurrent Sync/Compact.
+func (st *Store) SetMetrics(m *Metrics) {
+	st.metrics = m
+	st.log.metrics = m
+}
+
 // Dir returns the state directory path.
 func (st *Store) Dir() string { return st.dir }
 
@@ -187,11 +197,13 @@ func (st *Store) Compact(state [][]byte) error {
 		return fmt.Errorf("wal: compact: %w", err)
 	}
 	var buf []byte
+	var snapBytes int64
 	for _, rec := range state {
 		buf = appendFrame(buf[:0], rec)
 		if _, err := tmp.Write(buf); err != nil {
 			return fail(err)
 		}
+		snapBytes += int64(len(buf))
 	}
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
@@ -211,7 +223,12 @@ func (st *Store) Compact(state [][]byte) error {
 	if err != nil {
 		return err
 	}
+	newLog.metrics = st.metrics // instruments outlive the log swap
 	syncDir(st.dir)
+	if m := st.metrics; m != nil {
+		m.Compactions.Inc()
+		m.SnapshotBytes.Set(snapBytes)
+	}
 
 	// The new generation is authoritative; retire the old one. Best
 	// effort: leftovers are swept by the next Open.

@@ -26,7 +26,29 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"cloudsync/internal/obs"
 )
+
+// Metrics is the optional instrument set a Log (and the Store above
+// it) reports into: the group-commit fsync cost, durable byte volume,
+// and compaction activity. All fields are nil-safe obs instruments, so
+// a partially populated set works; a nil *Metrics disables metering
+// entirely (the historical zero-overhead behaviour).
+type Metrics struct {
+	// FsyncUS times each group commit (buffered write + fsync), in
+	// microseconds.
+	FsyncUS *obs.Histogram
+	// Fsyncs counts group commits performed.
+	Fsyncs *obs.Counter
+	// BytesAppended counts framed record bytes made durable.
+	BytesAppended *obs.Counter
+	// Compactions counts log-into-snapshot compactions completed.
+	Compactions *obs.Counter
+	// SnapshotBytes holds the current generation's snapshot size.
+	SnapshotBytes *obs.Gauge
+}
 
 // ErrCrashed is returned by every operation on a log whose injected
 // crash point has tripped (and by all operations after a real I/O
@@ -64,6 +86,11 @@ type Log struct {
 	// then on.
 	failAt int64
 	dead   bool
+
+	// metrics, when non-nil, receives fsync timings and durable byte
+	// counts (Store.SetMetrics installs it and keeps it across
+	// compaction's log swap).
+	metrics *Metrics
 }
 
 // appendFrame appends one framed record to buf.
@@ -187,6 +214,10 @@ func (l *Log) Sync() error {
 	if len(l.pending) == 0 {
 		return nil
 	}
+	var t0 time.Time
+	if l.metrics != nil {
+		t0 = time.Now()
+	}
 	buf := l.pending
 	if l.failAt >= 0 && l.size+int64(len(buf)) > l.failAt {
 		allowed := l.failAt - l.size
@@ -214,6 +245,11 @@ func (l *Log) Sync() error {
 	}
 	l.size += int64(len(buf))
 	l.pending = l.pending[:0]
+	if m := l.metrics; m != nil {
+		m.Fsyncs.Inc()
+		m.BytesAppended.Add(int64(len(buf)))
+		m.FsyncUS.Observe(time.Since(t0).Microseconds())
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"hash"
 	"io"
 	"net"
+	"time"
 
 	"cloudsync/internal/comp"
 	"cloudsync/internal/delta"
@@ -64,6 +65,15 @@ type Client struct {
 	op              *obs.Span // span of the operation currently in flight
 	att             *obs.Span // span of the current retry attempt, if any
 	wireIn, wireOut int64
+
+	// propagate, set via WithTraceContext, opts the session into
+	// cross-process trace propagation: Hello advertises CapTrace and
+	// each attempt is prefixed with a TraceCtx frame. Inert without a
+	// tracer.
+	propagate bool
+	// replyWaitUS, set via WithClientMetrics, times every blocking wait
+	// for a server reply — the wire round-trip as the client sees it.
+	replyWaitUS *obs.Histogram
 
 	// ledger, when set via WithLedger, attributes every metered wire
 	// byte (both directions) to a cause. charged tracks how much this
@@ -162,6 +172,50 @@ func WithLedger(l *ledger.Ledger) ClientOption {
 	return func(c *Client) { c.ledger = l }
 }
 
+// WithTraceContext opts the session into cross-process trace
+// propagation: the Hello advertises protocol.CapTrace and every
+// operation attempt is prefixed with a TraceCtx frame naming the
+// client tracer's identity and the attempt span, so a trace-capable
+// server parents its spans under this client's operation (joined by
+// obs.Merge). Requires WithTracer — without a tracer the option is
+// inert and not a single wire byte changes.
+func WithTraceContext() ClientOption {
+	return func(c *Client) { c.propagate = true }
+}
+
+// WithClientMetrics registers the client's phase instruments on reg:
+// syncnet_client_reply_wait_us, the microseconds each blocking wait
+// for a server reply took (the wire round-trip plus server queueing
+// and service, as the client experiences it). A nil reg leaves the
+// client unmetered.
+func WithClientMetrics(reg *obs.Registry) ClientOption {
+	return func(c *Client) {
+		c.replyWaitUS = reg.Histogram("syncnet_client_reply_wait_us",
+			"Microseconds a client blocked waiting for a server reply (round-trip wait).")
+	}
+}
+
+// helloCaps is the capability word the session's Hello advertises.
+func (c *Client) helloCaps() uint32 {
+	if c.propagate && c.tracer != nil {
+		return protocol.CapTrace
+	}
+	return 0
+}
+
+// sendTraceCtx prefixes the current attempt with the client's trace
+// context so the server can parent its spans under it. No-op unless
+// the session propagates (WithTraceContext plus a tracer).
+func (c *Client) sendTraceCtx() error {
+	if !c.propagate || c.tracer == nil {
+		return nil
+	}
+	return c.send(&protocol.TraceCtx{
+		TraceID: [16]byte(c.tracer.TraceID()),
+		SpanID:  c.parent().SpanID(),
+	})
+}
+
 // NewClient starts a session on an established connection. It sends
 // the Hello immediately.
 func NewClient(conn net.Conn, user, device string, opts ...ClientOption) (*Client, error) {
@@ -186,7 +240,7 @@ func NewClient(conn net.Conn, user, device string, opts ...ClientOption) (*Clien
 	if c.tracer != nil || c.ledger != nil {
 		c.conn = &meterConn{Conn: conn, in: &c.wireIn, out: &c.wireOut}
 	}
-	if err := c.send(&protocol.Hello{User: user, Device: device, Version: "cloudsync/1"}); err != nil {
+	if err := c.send(&protocol.Hello{User: user, Device: device, Version: "cloudsync/1", Caps: c.helloCaps()}); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -320,7 +374,14 @@ func (c *Client) chargeRead(m protocol.Message, consumed int64) {
 
 func (c *Client) read() (protocol.Message, error) {
 	in0 := c.wireIn
+	var t0 time.Time
+	if c.replyWaitUS != nil {
+		t0 = time.Now()
+	}
 	m, buf, err := protocol.ReadMessageBuf(c.conn, c.readBuf)
+	if c.replyWaitUS != nil {
+		c.replyWaitUS.Observe(time.Since(t0).Microseconds())
+	}
 	c.readBuf = buf
 	if err != nil {
 		return nil, fmt.Errorf("syncnet: reading reply: %w", err)

@@ -85,7 +85,7 @@ func (c *Client) reconnect(attempt int) error {
 	if c.tracer != nil || c.ledger != nil {
 		conn = &meterConn{Conn: conn, in: &c.wireIn, out: &c.wireOut}
 	}
-	if err := c.sendOn(conn, &protocol.Hello{User: c.user, Device: c.device, Version: "cloudsync/1"}); err != nil {
+	if err := c.sendOn(conn, &protocol.Hello{User: c.user, Device: c.device, Version: "cloudsync/1", Caps: c.helloCaps()}); err != nil {
 		conn.Close()
 		return err
 	}
@@ -120,6 +120,16 @@ func (c *Client) withRetry(op func(attempt int) error) error {
 				c.att = nil
 				continue
 			}
+		}
+		// Propagating sessions prefix every attempt with the trace
+		// context (the attempt span), so server-side work on any retry
+		// still joins this operation's tree. A failed send is a
+		// transport failure like any other: it consumes the attempt.
+		if terr := c.sendTraceCtx(); terr != nil {
+			err = terr
+			c.att.Set("error", terr.Error()).End()
+			c.att = nil
+			continue
 		}
 		err = op(attempt)
 		if err != nil {

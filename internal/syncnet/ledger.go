@@ -39,6 +39,7 @@ type causeSeg struct {
 //	SignatureMsg body            → dedup_probe (block fingerprints)
 //	DeltaMsg: literal op data    → delta_literal; rest → delta_copyref
 //	ResumeQuery / ResumeInfo     → resume
+//	TraceCtx                     → framing (pure protocol overhead)
 //	Bundle: per entry name/size  → metadata; hash → dedup_probe;
 //	        length prefixes      → framing; content → payload
 //	everything else              → metadata
@@ -75,6 +76,11 @@ func messageSegments(dst []causeSeg, m protocol.Message, total int64) []causeSeg
 			causeSeg{ledger.DeltaLiteral, lit})
 	case *protocol.ResumeQuery, *protocol.ResumeInfo:
 		dst = append(dst, causeSeg{ledger.Resume, body})
+	case *protocol.TraceCtx:
+		// Trace propagation is protocol overhead, not user data: the
+		// whole frame is framing (retagRetransmit also leaves framing
+		// untouched, so a re-sent context stays framing on retry).
+		dst = append(dst, causeSeg{ledger.Framing, body})
 	case *protocol.Bundle:
 		// Entry-count prefix, then per entry: the identity a lone
 		// IndexUpdate would carry (name+size → metadata, full-file hash →

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"cloudsync/internal/obs"
+	"cloudsync/internal/store/wal"
 )
 
 // serverObs bundles the server's live-metric instruments. When the
@@ -33,6 +34,11 @@ type serverObs struct {
 
 	sessionTUEMilli *obs.Histogram
 	requestUS       *obs.Histogram
+
+	// Phase decomposition: where a request's time goes before and during
+	// handling (WAL fsync time is metered inside internal/store/wal).
+	inboundWaitUS *obs.Histogram
+	applyUS       *obs.Histogram
 }
 
 // newServerObs registers the server's metric set on reg (no-op
@@ -59,6 +65,22 @@ func newServerObs(reg *obs.Registry) serverObs {
 
 		sessionTUEMilli: reg.Histogram("syncd_session_tue_milli", "Per-session TUE x1000: wire bytes received / content bytes committed, for sessions that committed content."),
 		requestUS:       reg.Histogram("syncd_request_duration_us", "Per-request handling time in microseconds."),
+
+		inboundWaitUS: reg.Histogram("syncd_inbound_queue_wait_us", "Microseconds a fully read request waited in the connection's inbound queue before dispatch (MaxInflight backpressure)."),
+		applyUS:       reg.Histogram("syncd_apply_us", "Microseconds spent applying a mutation to in-memory state (decode, verify, store), excluding the WAL group commit."),
+	}
+}
+
+// walMetrics registers the durable-store instrument set. It is called
+// only when both a registry and a state dir are configured, so an
+// in-RAM server's /metrics never carries WAL series.
+func walMetrics(reg *obs.Registry) *wal.Metrics {
+	return &wal.Metrics{
+		FsyncUS:       reg.Histogram("syncd_wal_fsync_duration_us", "Microseconds per WAL group commit (buffered write + fsync)."),
+		Fsyncs:        reg.Counter("syncd_wal_fsyncs_total", "WAL group commits (fsyncs) performed."),
+		BytesAppended: reg.Counter("syncd_wal_bytes_appended_total", "Framed record bytes made durable in the WAL."),
+		Compactions:   reg.Counter("syncd_wal_compactions_total", "Log-into-snapshot compactions completed."),
+		SnapshotBytes: reg.Gauge("syncd_wal_snapshot_bytes", "Size of the current generation's snapshot in bytes."),
 	}
 }
 

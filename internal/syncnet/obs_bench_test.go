@@ -13,14 +13,19 @@ import (
 // instrumented (server registry + tracer, client tracer); otherwise it
 // runs on the nil no-op path. The delta between the two is the whole
 // observability tax on the sync hot path — make bench-obs records it
-// into BENCH_obs.json.
-func benchUploads(b *testing.B, observed bool) {
+// into BENCH_obs.json. propagate additionally opts the client into
+// cross-process trace-context propagation (one extra TraceCtx frame
+// per operation attempt).
+func benchUploads(b *testing.B, observed, propagate bool) {
 	cfg := ServerConfig{}
 	var clientOpts []ClientOption
 	if observed {
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Tracer = obs.NewTracer()
 		clientOpts = append(clientOpts, WithTracer(obs.NewTracer()))
+		if propagate {
+			clientOpts = append(clientOpts, WithTraceContext())
+		}
 	}
 	srv := NewServer(cfg)
 	defer srv.Close()
@@ -48,6 +53,14 @@ func benchUploads(b *testing.B, observed bool) {
 	<-done
 }
 
-func BenchmarkSyncUploadObsOff(b *testing.B) { benchUploads(b, false) }
+func BenchmarkSyncUploadObsOff(b *testing.B) { benchUploads(b, false, false) }
 
-func BenchmarkSyncUploadObsOn(b *testing.B) { benchUploads(b, true) }
+func BenchmarkSyncUploadObsOn(b *testing.B) { benchUploads(b, true, false) }
+
+// The propagation pair isolates the cost of shipping trace context
+// across the wire on top of full instrumentation: Off is the
+// instrumented baseline, On adds WithTraceContext (TraceCtx frame +
+// server-side remote re-parenting).
+func BenchmarkSyncUploadPropObsOff(b *testing.B) { benchUploads(b, true, false) }
+
+func BenchmarkSyncUploadPropObsOn(b *testing.B) { benchUploads(b, true, true) }

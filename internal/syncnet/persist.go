@@ -6,10 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
+	"time"
 
 	"cloudsync/internal/dedup"
 	"cloudsync/internal/delta"
+	"cloudsync/internal/obs"
 	"cloudsync/internal/protocol"
 	"cloudsync/internal/store/wal"
 )
@@ -63,6 +67,11 @@ func OpenServer(cfg ServerConfig) (*Server, error) {
 		st, err := wal.Open(cfg.StateDir, s.replayRecord)
 		if err != nil {
 			return nil, err
+		}
+		// WAL series exist on /metrics only when a state dir is
+		// configured: an in-RAM server has no fsyncs to report.
+		if cfg.Metrics != nil {
+			st.SetMetrics(walMetrics(cfg.Metrics))
 		}
 		s.persist = st
 	}
@@ -252,11 +261,42 @@ func (s *Server) snapshotRecordsLocked() [][]byte {
 
 // markCrashedLocked trips the crashed state once: registration and
 // dispatch refuse from here on, and CrashedC unblocks watchers (syncd
-// exits non-zero).
+// exits non-zero). The flight recorder's black box is dumped *before*
+// CrashedC closes, so a watcher that exits the process on the signal
+// (syncd's os.Exit(3)) can never race the dump to disk.
 func (s *Server) markCrashedLocked() {
 	if s.crashed.CompareAndSwap(false, true) {
+		s.dumpFlightLocked()
 		close(s.crashedC)
 	}
+}
+
+// dumpFlightLocked writes the flight recorder's recent records to
+// StateDir/flight-<unixnano>.jsonl. Best effort by design: the server
+// is already dead, so a dump failure is only logged — it must never
+// mask the crash itself.
+func (s *Server) dumpFlightLocked() {
+	fl := s.cfg.Flight
+	if fl == nil || s.cfg.StateDir == "" {
+		return
+	}
+	now := time.Now()
+	fl.Record(obs.FlightRecord{At: now.UnixNano(), Name: "server.crash", Err: "durable state dead"})
+	path := filepath.Join(s.cfg.StateDir, fmt.Sprintf("flight-%d.jsonl", now.UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		s.logf("flight dump: %v", err)
+		return
+	}
+	werr := fl.WriteJSONL(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		s.logf("flight dump: %v", werr)
+		return
+	}
+	s.logf("flight recorder dumped to %s", path)
 }
 
 // Crashed reports whether the server's durable state has died.

@@ -84,8 +84,17 @@ type ServerConfig struct {
 	// uninstrumented zero-overhead behaviour.
 	Metrics *obs.Registry
 	// Tracer, when set, records one span per client session with one
-	// child span per handled request. Nil disables tracing at no cost.
+	// child span per handled request. When a session propagates a trace
+	// context (Hello CapTrace + TraceCtx frames), request spans are
+	// instead parented under the client's remote operation span, so a
+	// client and server dump merge into one tree (obs.Merge). Nil
+	// disables tracing at no cost.
 	Tracer *obs.Tracer
+	// Flight, when set, receives one record per handled request (plus
+	// session and crash events) in a bounded ring; the crash latch dumps
+	// it to StateDir/flight-<ts>.jsonl before CrashedC closes — the
+	// black box a post-mortem reads. Nil disables recording at no cost.
+	Flight *obs.FlightRecorder
 	// Ledger, when set, attributes every wire byte read from or written
 	// to client connections to a traffic cause; its total equals
 	// BytesReceived+BytesSent exactly once sessions have ended. Nil
@@ -353,6 +362,7 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 type inboundMsg struct {
 	msg      protocol.Message
 	consumed int64
+	at       time.Time // enqueue instant (zero unless queue wait is metered)
 	err      error
 }
 
@@ -396,10 +406,14 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		return fmt.Errorf("syncnet: first message was %v", first.Type())
 	}
 	sess.user = hello.User
+	sess.caps = hello.Caps
 	sess.span = s.cfg.Tracer.Start("server.session",
 		obs.String("user", hello.User), obs.String("device", hello.Device))
 	defer sess.finish()
 	defer sess.stash()
+	if fl := s.cfg.Flight; fl != nil {
+		fl.Record(obs.FlightRecord{At: time.Now().UnixNano(), Name: "server.session.start", User: hello.User})
+	}
 	s.logf("session start user=%s device=%s", hello.User, hello.Device)
 
 	inflight := s.cfg.MaxInflight
@@ -410,6 +424,7 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	// hands each request's consumed byte count through the channel so
 	// the dispatcher never touches wireIn until the reader has exited.
 	queue := make(chan inboundMsg, inflight-1)
+	timedQueue := s.om.inboundWaitUS != nil
 	go func() {
 		defer close(queue)
 		defer func() { wire.PutFrame(readBuf) }()
@@ -421,7 +436,11 @@ func (s *Server) HandleConn(conn net.Conn) error {
 				queue <- inboundMsg{err: err}
 				return
 			}
-			queue <- inboundMsg{msg: msg, consumed: sess.wireIn - in0}
+			in := inboundMsg{msg: msg, consumed: sess.wireIn - in0}
+			if timedQueue {
+				in.at = time.Now()
+			}
+			queue <- in
 		}
 	}()
 
@@ -430,6 +449,11 @@ func (s *Server) HandleConn(conn net.Conn) error {
 		if in.err != nil {
 			readErr = in.err
 			break
+		}
+		if !in.at.IsZero() {
+			// Inbound-queue wait: fully read, not yet dispatched — the
+			// MaxInflight backpressure phase.
+			s.om.inboundWaitUS.Observe(time.Since(in.at).Microseconds())
 		}
 		sess.chargeRead(in.msg, in.consumed)
 		if err := sess.dispatch(in.msg); err != nil {
@@ -461,20 +485,50 @@ func (s *Server) HandleConn(conn net.Conn) error {
 	return fmt.Errorf("syncnet: reading message: %w", readErr)
 }
 
-// dispatch runs one request through handle, wrapped in its span and
-// duration metric.
+// dispatch runs one request through handle, wrapped in its span, its
+// duration metric, and its flight record. A TraceCtx frame is absorbed
+// here — it is session plumbing, not a request: it updates the trace
+// context the following requests' spans adopt, produces no reply, and
+// counts in no request metric.
 func (ss *session) dispatch(msg protocol.Message) error {
+	if tc, ok := msg.(*protocol.TraceCtx); ok {
+		if ss.caps&protocol.CapTrace != 0 {
+			ss.rTrace = obs.TraceID(tc.TraceID)
+			ss.rParent = tc.SpanID
+		}
+		return nil
+	}
+	fl := ss.srv.cfg.Flight
+	name := "server." + msg.Type().String()
 	var t0 time.Time
-	if ss.srv.om.requestUS != nil {
+	if ss.srv.om.requestUS != nil || fl != nil {
 		t0 = time.Now()
 	}
-	sp := ss.span.Child("server." + msg.Type().String())
+	sp := ss.requestSpan(name)
 	err := ss.handle(msg)
 	sp.End()
-	if ss.srv.om.requestUS != nil {
-		ss.srv.om.requestUS.Observe(time.Since(t0).Microseconds())
+	if !t0.IsZero() {
+		d := time.Since(t0)
+		ss.srv.om.requestUS.Observe(d.Microseconds())
+		if fl != nil {
+			rec := obs.FlightRecord{At: time.Now().UnixNano(), Name: name, User: ss.user, DurUS: d.Microseconds()}
+			if err != nil {
+				rec.Err = err.Error()
+			}
+			fl.Record(rec)
+		}
 	}
 	return err
+}
+
+// requestSpan opens one request's span: a remote child of the client's
+// operation when the session carries a propagated trace context, else
+// a local child of the session span.
+func (ss *session) requestSpan(name string) *obs.Span {
+	if tr := ss.srv.cfg.Tracer; tr != nil && ss.rParent != 0 {
+		return tr.StartRemote(name, ss.rTrace, ss.rParent, obs.String("user", ss.user))
+	}
+	return ss.span.Child(name)
 }
 
 // finish closes the session span with the wire totals and feeds the
@@ -487,6 +541,26 @@ func (ss *session) finish() {
 	ss.span.End()
 	if ss.contentBytes > 0 {
 		ss.srv.om.sessionTUEMilli.Observe(ss.wireIn * 1000 / ss.contentBytes)
+	}
+	if fl := ss.srv.cfg.Flight; fl != nil {
+		fl.Record(obs.FlightRecord{At: time.Now().UnixNano(), Name: "server.session.end", User: ss.user})
+	}
+}
+
+// applyStart/applyEnd time the in-memory apply phase of a mutation —
+// decode, verify, store — excluding the WAL group commit, which is
+// metered separately inside internal/store/wal. Zero-cost when the
+// apply histogram is unregistered.
+func (ss *session) applyStart() time.Time {
+	if ss.srv.om.applyUS == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (ss *session) applyEnd(t0 time.Time) {
+	if !t0.IsZero() {
+		ss.srv.om.applyUS.Observe(time.Since(t0).Microseconds())
 	}
 }
 
@@ -568,6 +642,14 @@ type session struct {
 	charged      int64 // wire bytes already attributed to the ledger
 	contentBytes int64 // raw content bytes committed this session
 	span         *obs.Span
+
+	// caps is the capability word the client's Hello advertised; rTrace
+	// and rParent hold the current remote trace context (set by the
+	// latest TraceCtx frame, honored only with CapTrace advertised) that
+	// request spans adopt as their cross-process parent.
+	caps    uint32
+	rTrace  obs.TraceID
+	rParent uint64
 }
 
 // send encodes one reply into the session's pooled scratch and writes
@@ -803,6 +885,7 @@ func (ss *session) onCommit(m *protocol.Commit) error {
 	}
 	delete(ss.uploads, m.FileID)
 
+	ta := ss.applyStart()
 	var raw []byte
 	s := ss.srv
 	if up.dedupHit {
@@ -827,6 +910,7 @@ func (ss *session) onCommit(m *protocol.Commit) error {
 	}
 
 	version := ss.store(up.name, up.id, raw, up.hash, up.dedupHit)
+	ss.applyEnd(ta)
 	// Durability before acknowledgement: the commit must survive kill -9
 	// once the client has seen the Ack.
 	if err := s.persistSync(); err != nil {
@@ -882,6 +966,7 @@ func (ss *session) onBundle(m *protocol.Bundle) error {
 	s := ss.srv
 	results := make([]protocol.BundleResult, len(m.Entries))
 	committed := 0
+	ta := ss.applyStart()
 	for i := range m.Entries {
 		en := &m.Entries[i]
 		res := &results[i]
@@ -921,6 +1006,7 @@ func (ss *session) onBundle(m *protocol.Bundle) error {
 		res.FileID, res.Version, res.DedupHit, res.OK = id, version, hit, true
 		committed++
 	}
+	ss.applyEnd(ta)
 	s.mu.Lock()
 	s.stats.Bundles++
 	s.stats.BundledFiles += int64(committed)
@@ -1045,6 +1131,7 @@ func (ss *session) onSigRequest(m *protocol.SigRequest) error {
 }
 
 func (ss *session) onDelta(m *protocol.DeltaMsg) error {
+	ta := ss.applyStart()
 	d, err := delta.DecodeDelta(m.Payload)
 	if err != nil {
 		ss.sendErr(protocol.ErrBadRequest, "undecodable delta")
@@ -1087,6 +1174,7 @@ func (ss *session) onDelta(m *protocol.DeltaMsg) error {
 	s.om.deltaSyncs.Inc()
 	s.om.bytesStored.Set(stored)
 	ss.contentBytes += int64(len(raw))
+	ss.applyEnd(ta)
 	if err := s.persistSync(); err != nil {
 		ss.sendErr(protocol.ErrInternal, "server crashed")
 		return err
