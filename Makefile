@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-obs bench-core bench-scale bench-diff bench-load bench-load-diff tuebench
+.PHONY: check build vet test race bench bench-obs bench-core bench-scale bench-diff bench-kernel-diff bench-load bench-load-diff tuebench
 
 # check is the full gate: compile everything, vet, and run the test
 # suite under the race detector (the experiment layer is concurrent).
@@ -32,12 +32,22 @@ bench-obs:
 		| $(GO) run ./internal/obs/benchjson > BENCH_obs.json
 	cat BENCH_obs.json
 
-# bench-core records the experiment-table baseline: every root-package
-# benchmark (the paper tables and figures) at -benchtime 1x, dumped
-# as-is into BENCH_core.json. ns/op is machine-dependent — the
-# trajectory to watch is allocation counts and relative shape.
+# KERNEL_PKGS are the data-plane kernel packages (chunking and delta
+# scan); KERNEL_FILTER selects their entries out of BENCH_core.json for
+# the failing throughput gate. Kernels run at a real -benchtime (unlike
+# the 1x experiment tables) so the recorded MB/s figures are stable.
+KERNEL_PKGS = ./internal/chunker ./internal/delta
+KERNEL_FILTER = ^(Fixed$$|ContentDefined|Delta|WeakSum$$)
+
+# bench-core records the experiment-table baseline — every root-package
+# benchmark (the paper tables and figures) at -benchtime 1x — plus the
+# chunker/delta kernel benchmarks at a real benchtime with their MB/s
+# captured, dumped together into BENCH_core.json. ns/op is
+# machine-dependent — the trajectory to watch is allocation counts,
+# relative shape, and kernel throughput ratios.
 bench-core:
-	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . \
+	{ $(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . ; \
+	  $(GO) test -bench . -benchmem -benchtime 0.5s -run '^$$' $(KERNEL_PKGS) ; } \
 		| $(GO) run ./internal/obs/benchjson -raw > BENCH_core.json
 	cat BENCH_core.json
 
@@ -54,9 +64,23 @@ bench-scale:
 # counts against the committed BENCH_core.json baseline. Exit 1 on a
 # regression beyond the tolerance; CI runs this warn-only.
 bench-diff:
-	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . \
+	{ $(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . ; \
+	  $(GO) test -bench . -benchmem -benchtime 0.5s -run '^$$' $(KERNEL_PKGS) ; } \
 		| $(GO) run ./internal/obs/benchjson -raw > /tmp/bench_core_new.json
 	$(GO) run ./internal/obs/benchjson -compare BENCH_core.json /tmp/bench_core_new.json -tolerance-pct 10
+
+# bench-kernel-diff is the failing CI gate on the data-plane kernels:
+# re-measure only the chunker/delta benchmarks and diff allocation
+# counts (tight, machine-independent) and MB/s throughput (loose —
+# absolute throughput moves with the machine, so the 50% default only
+# catches falling off an algorithmic cliff: losing the gear-hash skip
+# scan, the tag bitmap, or the batched hashing is a 2–10x drop) against
+# the kernel entries of BENCH_core.json.
+bench-kernel-diff:
+	$(GO) test -bench . -benchmem -benchtime 0.5s -run '^$$' $(KERNEL_PKGS) \
+		| $(GO) run ./internal/obs/benchjson -raw > /tmp/bench_kernel_new.json
+	$(GO) run ./internal/obs/benchjson -compare BENCH_core.json /tmp/bench_kernel_new.json \
+		-tolerance-pct 10 -throughput-tolerance-pct 50 -filter '$(KERNEL_FILTER)'
 
 # bench-load records the live-sync throughput baseline: syncload drives
 # open-loop arrivals of small-file batches against an in-process syncd

@@ -27,12 +27,58 @@ func BenchmarkFixed(b *testing.B) {
 	}
 }
 
+// BenchmarkContentDefined measures the full chunking pipeline —
+// skip-optimized boundary scan plus the batched MD5 pass. On fresh
+// content it is MD5-bound: the strong hash alone runs at ~600 MB/s on
+// a 2.1 GHz Xeon, so this bench can approach but never beat that. The
+// boundary-discovery kernel itself is BenchmarkContentDefinedCuts.
 func BenchmarkContentDefined(b *testing.B) {
 	data := benchData(4 << 20)
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if blocks := ContentDefined(data, 2<<10, 8<<10, 32<<10); len(blocks) == 0 {
+			b.Fatal("no blocks")
+		}
+	}
+}
+
+// BenchmarkContentDefinedCuts is the boundary-discovery kernel alone:
+// the gear-hash scan with the warm-up-window skip, no fingerprinting —
+// what geometry-only callers (and cache-hit fingerprinting) pay.
+func BenchmarkContentDefinedCuts(b *testing.B) {
+	data := benchData(4 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cuts := CutPoints(data, 2<<10, 8<<10, 32<<10); len(cuts) == 0 {
+			b.Fatal("no cuts")
+		}
+	}
+}
+
+// BenchmarkContentDefinedCutsRef is the retained reference loop on the
+// same input — the before/after of the skip-scan rewrite, kept so the
+// speedup is visible in every bench run rather than only in history.
+func BenchmarkContentDefinedCutsRef(b *testing.B) {
+	data := benchData(4 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cuts := cutPointsRef(data, 2<<10, 8<<10, 32<<10); len(cuts) == 0 {
+			b.Fatal("no cuts")
+		}
+	}
+}
+
+// BenchmarkContentDefinedNC is the two-mask normalized variant,
+// geometry plus batched hashing.
+func BenchmarkContentDefinedNC(b *testing.B) {
+	data := benchData(4 << 20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blocks := ContentDefinedNC(data, 2<<10, 8<<10, 32<<10); len(blocks) == 0 {
 			b.Fatal("no blocks")
 		}
 	}

@@ -262,41 +262,197 @@ func buildGearTable() [256]uint64 {
 	return t
 }
 
-// ContentDefined splits data at content-defined boundaries using a gear
-// rolling hash, with minimum, average (power of two), and maximum chunk
-// sizes. Identical content regions produce identical chunks regardless
-// of their offsets, which is what makes this discipline robust to
-// insertions — the property fixed-size blocking lacks.
-func ContentDefined(data []byte, min, avg, max int) []Block {
+// gearWindow is the gear hash's effective window: h = (h<<1) + g[b]
+// shifts each byte's contribution left once per subsequent byte, so
+// after 64 shifts it has left the 64-bit register entirely. The hash at
+// position i therefore depends only on data[i-63 … i], which is what
+// lets the scan skip the un-judged prefix of each chunk (see CutPoints).
+const gearWindow = 64
+
+func checkCDCParams(min, avg, max int) {
 	if min <= 0 || avg < min || max < avg {
 		panic(fmt.Sprintf("chunker: invalid CDC parameters min=%d avg=%d max=%d", min, avg, max))
 	}
 	if avg&(avg-1) != 0 {
 		panic(fmt.Sprintf("chunker: average chunk size %d must be a power of two", avg))
 	}
-	mask := uint64(avg - 1)
-	var blocks []Block
-	start := 0
-	var h uint64
-	for i := 0; i < len(data); i++ {
-		h = (h << 1) + gearTable[data[i]]
-		length := i - start + 1
-		if (length >= min && h&mask == mask) || length >= max {
-			blocks = append(blocks, Block{
-				Off:  int64(start),
-				Size: length,
-				Sum:  md5.Sum(data[start : i+1]),
-			})
-			start = i + 1
-			h = 0
+}
+
+// ContentDefined splits data at content-defined boundaries using a gear
+// rolling hash, with minimum, average (power of two), and maximum chunk
+// sizes. Identical content regions produce identical chunks regardless
+// of their offsets, which is what makes this discipline robust to
+// insertions — the property fixed-size blocking lacks.
+//
+// Boundary discovery and strong hashing are separate passes: CutPoints
+// finds the geometry with the skip-optimized scan, then every chunk is
+// fingerprinted in one batched MD5 sweep. Cut points are identical to
+// the straightforward reference loop (contentDefinedRef) — asserted by
+// the differential harness — so committed tables never move.
+func ContentDefined(data []byte, min, avg, max int) []Block {
+	cuts := CutPoints(data, min, avg, max)
+	return sumBlocks(data, cuts)
+}
+
+// sumBlocks is the batched strong-hash pass: one MD5 per cut range.
+func sumBlocks(data []byte, cuts []Range) []Block {
+	if len(cuts) == 0 {
+		return nil
+	}
+	blocks := make([]Block, len(cuts))
+	for i, r := range cuts {
+		blocks[i] = Block{
+			Off:  r.Off,
+			Size: int(r.Len),
+			Sum:  md5.Sum(data[r.Off : r.Off+r.Len]),
 		}
 	}
-	if start < len(data) {
-		blocks = append(blocks, Block{
-			Off:  int64(start),
-			Size: len(data) - start,
-			Sum:  md5.Sum(data[start:]),
-		})
-	}
 	return blocks
+}
+
+// CutPoints returns the content-defined chunk layout of data without
+// fingerprinting anything — the CDC counterpart of Boundaries. Callers
+// that only need geometry (insert-shift accounting, cached fingerprint
+// lookups) skip the MD5 work entirely.
+//
+// The scan is FastCDC-style: no byte below the minimum chunk length can
+// be a cut, and the gear hash only remembers the last gearWindow bytes,
+// so each chunk's scan starts at start+min-gearWindow — a 64-byte
+// warm-up, then a judged segment whose inner loop tests nothing but the
+// hash mask (the min bound is already proven and the max bound is the
+// segment end). For min < gearWindow the warm-up would underrun the
+// chunk start, so the reference loop runs instead; both paths produce
+// identical cut points.
+func CutPoints(data []byte, min, avg, max int) []Range {
+	checkCDCParams(min, avg, max)
+	if len(data) == 0 {
+		return nil
+	}
+	if min < gearWindow {
+		return cutPointsRef(data, min, avg, max)
+	}
+	mask := uint64(avg - 1)
+	cuts := make([]Range, 0, len(data)/avg+1)
+	start := 0
+	for len(data)-start >= min {
+		// First judged position: the byte completing a min-length chunk.
+		i := start + min - 1
+		// Last position a mask cut may land on is start+max-1 (a chunk of
+		// exactly max bytes); cap the judged segment there and at EOF.
+		end := start + max
+		if end > len(data) {
+			end = len(data)
+		}
+		// Warm-up: absorb the gearWindow-1 bytes before the first judged
+		// position. h then matches the reference loop's value at every
+		// judged position (older bytes have shifted out of the register).
+		var h uint64
+		for j := i - (gearWindow - 1); j < i; j++ {
+			h = (h << 1) + gearTable[data[j]]
+		}
+		// Judged segment: branch-minimized — one table add, one mask test.
+		cut := -1
+		for ; i < end; i++ {
+			h = (h << 1) + gearTable[data[i]]
+			if h&mask == mask {
+				cut = i
+				break
+			}
+		}
+		if cut < 0 {
+			if end == start+max {
+				// Mask never fired within max bytes: forced cut at max.
+				cut = end - 1
+			} else {
+				// Ran off the end of data: the remainder is the final chunk.
+				break
+			}
+		}
+		cuts = append(cuts, Range{Off: int64(start), Len: int64(cut - start + 1)})
+		start = cut + 1
+	}
+	if start < len(data) {
+		cuts = append(cuts, Range{Off: int64(start), Len: int64(len(data) - start)})
+	}
+	return cuts
+}
+
+// ContentDefinedNC is ContentDefined with FastCDC's two-mask chunk-size
+// normalization: positions below the average length are judged with a
+// stricter mask (one extra bit) and positions at or beyond it with a
+// looser one (one bit fewer). Chunk sizes cluster around avg — fewer
+// tiny and fewer max-capped chunks — at the cost of slightly weaker
+// boundary stability under edits (a cut's survival now also depends on
+// which side of the average the scan meets it from). It is a separate
+// ablation variant: ContentDefined's cut points are untouched.
+func ContentDefinedNC(data []byte, min, avg, max int) []Block {
+	return sumBlocks(data, CutPointsNC(data, min, avg, max))
+}
+
+// CutPointsNC is the geometry-only pass of ContentDefinedNC. It uses
+// the same warm-up-window skip as CutPoints, with the judged segment
+// split at the average-length position where the mask switches. avg
+// must be at least 2 so the loose mask keeps one bit.
+func CutPointsNC(data []byte, min, avg, max int) []Range {
+	checkCDCParams(min, avg, max)
+	if avg < 2 {
+		panic(fmt.Sprintf("chunker: normalized chunking needs avg ≥ 2, got %d", avg))
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if min < gearWindow {
+		return cutPointsNCRef(data, min, avg, max)
+	}
+	maskS := uint64(2*avg - 1) // one bit stricter: fires half as often
+	maskL := uint64(avg/2 - 1) // one bit looser: fires twice as often
+	cuts := make([]Range, 0, len(data)/avg+1)
+	start := 0
+	for len(data)-start >= min {
+		i := start + min - 1
+		end := start + max
+		if end > len(data) {
+			end = len(data)
+		}
+		// The strict segment covers lengths in [min, avg), the loose one
+		// [avg, max); both are clipped to the data.
+		split := start + avg - 1
+		if split > end {
+			split = end
+		}
+		var h uint64
+		for j := i - (gearWindow - 1); j < i; j++ {
+			h = (h << 1) + gearTable[data[j]]
+		}
+		cut := -1
+		for ; i < split; i++ {
+			h = (h << 1) + gearTable[data[i]]
+			if h&maskS == maskS {
+				cut = i
+				break
+			}
+		}
+		if cut < 0 {
+			for ; i < end; i++ {
+				h = (h << 1) + gearTable[data[i]]
+				if h&maskL == maskL {
+					cut = i
+					break
+				}
+			}
+		}
+		if cut < 0 {
+			if end == start+max {
+				cut = end - 1
+			} else {
+				break
+			}
+		}
+		cuts = append(cuts, Range{Off: int64(start), Len: int64(cut - start + 1)})
+		start = cut + 1
+	}
+	if start < len(data) {
+		cuts = append(cuts, Range{Off: int64(start), Len: int64(len(data) - start)})
+	}
+	return cuts
 }

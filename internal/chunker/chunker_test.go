@@ -1,4 +1,4 @@
-package chunker
+package chunker_test
 
 import (
 	"bytes"
@@ -7,12 +7,13 @@ import (
 	"testing"
 	"testing/quick"
 
+	"cloudsync/internal/chunker"
 	"cloudsync/internal/content"
 )
 
 func TestFixedBasics(t *testing.T) {
 	data := content.Random(1000, 1).Bytes()
-	blocks := Fixed(data, 256)
+	blocks := chunker.Fixed(data, 256)
 	if len(blocks) != 4 {
 		t.Fatalf("len(blocks) = %d, want 4", len(blocks))
 	}
@@ -31,14 +32,14 @@ func TestFixedBasics(t *testing.T) {
 }
 
 func TestFixedEmpty(t *testing.T) {
-	if got := Fixed(nil, 128); got != nil {
-		t.Fatalf("Fixed(nil) = %v", got)
+	if got := chunker.Fixed(nil, 128); got != nil {
+		t.Fatalf("chunker.Fixed(nil) = %v", got)
 	}
 }
 
 func TestFixedExactMultiple(t *testing.T) {
 	data := content.Random(512, 2).Bytes()
-	blocks := Fixed(data, 256)
+	blocks := chunker.Fixed(data, 256)
 	if len(blocks) != 2 || blocks[1].Size != 256 {
 		t.Fatalf("blocks = %+v", blocks)
 	}
@@ -50,16 +51,16 @@ func TestFixedInvalidBlockSizePanics(t *testing.T) {
 			t.Fatal("Fixed with blockSize 0 did not panic")
 		}
 	}()
-	Fixed([]byte{1}, 0)
+	chunker.Fixed([]byte{1}, 0)
 }
 
 func TestFingerprintReaderMatchesFixed(t *testing.T) {
 	blob := content.Text(100_000, 3)
-	sums, err := FingerprintReader(blob.Reader(), 4096)
+	sums, err := chunker.FingerprintReader(blob.Reader(), 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
-	blocks := Fixed(blob.Bytes(), 4096)
+	blocks := chunker.Fixed(blob.Bytes(), 4096)
 	if len(sums) != len(blocks) {
 		t.Fatalf("reader gave %d blocks, Fixed gave %d", len(sums), len(blocks))
 	}
@@ -71,7 +72,7 @@ func TestFingerprintReaderMatchesFixed(t *testing.T) {
 }
 
 func TestFingerprintReaderEmpty(t *testing.T) {
-	sums, err := FingerprintReader(bytes.NewReader(nil), 128)
+	sums, err := chunker.FingerprintReader(bytes.NewReader(nil), 128)
 	if err != nil || sums != nil {
 		t.Fatalf("empty reader = (%v, %v)", sums, err)
 	}
@@ -86,16 +87,16 @@ func TestNumBlocks(t *testing.T) {
 		{0, 128, 0}, {1, 128, 1}, {128, 128, 1}, {129, 128, 2}, {1 << 20, 4096, 256},
 	}
 	for _, c := range cases {
-		if got := NumBlocks(c.size, c.bs); got != c.want {
-			t.Errorf("NumBlocks(%d, %d) = %d, want %d", c.size, c.bs, got, c.want)
+		if got := chunker.NumBlocks(c.size, c.bs); got != c.want {
+			t.Errorf("chunker.NumBlocks(%d, %d) = %d, want %d", c.size, c.bs, got, c.want)
 		}
 	}
 }
 
 func TestNormalize(t *testing.T) {
-	in := []Range{{10, 5}, {0, 3}, {12, 10}, {40, 0}, {30, 2}}
-	out := Normalize(in)
-	want := []Range{{0, 3}, {10, 12}, {30, 2}}
+	in := []chunker.Range{{10, 5}, {0, 3}, {12, 10}, {40, 0}, {30, 2}}
+	out := chunker.Normalize(in)
+	want := []chunker.Range{{0, 3}, {10, 12}, {30, 2}}
 	if len(out) != len(want) {
 		t.Fatalf("Normalize = %v, want %v", out, want)
 	}
@@ -107,8 +108,8 @@ func TestNormalize(t *testing.T) {
 }
 
 func TestNormalizeAdjacent(t *testing.T) {
-	out := Normalize([]Range{{0, 10}, {10, 10}})
-	if len(out) != 1 || out[0] != (Range{0, 20}) {
+	out := chunker.Normalize([]chunker.Range{{0, 10}, {10, 10}})
+	if len(out) != 1 || out[0] != (chunker.Range{0, 20}) {
 		t.Fatalf("adjacent ranges not merged: %v", out)
 	}
 }
@@ -118,21 +119,21 @@ func TestDirtyBlocks(t *testing.T) {
 		name   string
 		size   int64
 		bs     int
-		ranges []Range
+		ranges []chunker.Range
 		want   int64
 	}{
 		{"no ranges", 1000, 100, nil, 0},
-		{"one byte", 1000, 100, []Range{{550, 1}}, 1},
-		{"spans boundary", 1000, 100, []Range{{95, 10}}, 2},
-		{"two ranges same block", 1000, 100, []Range{{10, 5}, {20, 5}}, 1},
-		{"two ranges different blocks", 1000, 100, []Range{{10, 5}, {210, 5}}, 2},
-		{"whole file", 1000, 100, []Range{{0, 1000}}, 10},
-		{"past EOF clamped", 1000, 100, []Range{{950, 500}}, 1},
-		{"fully past EOF", 1000, 100, []Range{{2000, 10}}, 0},
-		{"append region", 1000, 100, []Range{{900, 100}}, 1},
+		{"one byte", 1000, 100, []chunker.Range{{550, 1}}, 1},
+		{"spans boundary", 1000, 100, []chunker.Range{{95, 10}}, 2},
+		{"two ranges same block", 1000, 100, []chunker.Range{{10, 5}, {20, 5}}, 1},
+		{"two ranges different blocks", 1000, 100, []chunker.Range{{10, 5}, {210, 5}}, 2},
+		{"whole file", 1000, 100, []chunker.Range{{0, 1000}}, 10},
+		{"past EOF clamped", 1000, 100, []chunker.Range{{950, 500}}, 1},
+		{"fully past EOF", 1000, 100, []chunker.Range{{2000, 10}}, 0},
+		{"append region", 1000, 100, []chunker.Range{{900, 100}}, 1},
 	}
 	for _, c := range cases {
-		if got := DirtyBlocks(c.size, c.bs, c.ranges); got != c.want {
+		if got := chunker.DirtyBlocks(c.size, c.bs, c.ranges); got != c.want {
 			t.Errorf("%s: DirtyBlocks = %d, want %d", c.name, got, c.want)
 		}
 	}
@@ -141,14 +142,14 @@ func TestDirtyBlocks(t *testing.T) {
 func TestDirtyBytes(t *testing.T) {
 	// One dirty byte in a 1000-byte file with 100-byte blocks costs one
 	// full block.
-	if got := DirtyBytes(1000, 100, []Range{{550, 1}}); got != 100 {
+	if got := chunker.DirtyBytes(1000, 100, []chunker.Range{{550, 1}}); got != 100 {
 		t.Fatalf("DirtyBytes = %d, want 100", got)
 	}
 	// Final short block costs only its real length.
-	if got := DirtyBytes(950, 100, []Range{{940, 5}}); got != 50 {
+	if got := chunker.DirtyBytes(950, 100, []chunker.Range{{940, 5}}); got != 50 {
 		t.Fatalf("DirtyBytes (short tail) = %d, want 50", got)
 	}
-	if got := DirtyBytes(1000, 100, nil); got != 0 {
+	if got := chunker.DirtyBytes(1000, 100, nil); got != 0 {
 		t.Fatalf("DirtyBytes (clean) = %d, want 0", got)
 	}
 }
@@ -159,16 +160,16 @@ func TestPropertyDirtyBlocksOracle(t *testing.T) {
 	for iter := 0; iter < 300; iter++ {
 		size := int64(1 + rng.Intn(5000))
 		bs := 1 + rng.Intn(300)
-		var ranges []Range
+		var ranges []chunker.Range
 		for i := 0; i < rng.Intn(6); i++ {
-			ranges = append(ranges, Range{
+			ranges = append(ranges, chunker.Range{
 				Off: int64(rng.Intn(6000)),
 				Len: int64(rng.Intn(500)),
 			})
 		}
 		dirty := make(map[int64]bool)
 		for _, r := range ranges {
-			for b := int64(0); b < NumBlocks(size, bs); b++ {
+			for b := int64(0); b < chunker.NumBlocks(size, bs); b++ {
 				start, end := b*int64(bs), (b+1)*int64(bs)
 				if end > size {
 					end = size
@@ -178,7 +179,7 @@ func TestPropertyDirtyBlocksOracle(t *testing.T) {
 				}
 			}
 		}
-		if got := DirtyBlocks(size, bs, ranges); got != int64(len(dirty)) {
+		if got := chunker.DirtyBlocks(size, bs, ranges); got != int64(len(dirty)) {
 			t.Fatalf("iter %d: size=%d bs=%d ranges=%v: got %d want %d",
 				iter, size, bs, ranges, got, len(dirty))
 		}
@@ -191,7 +192,7 @@ func TestPropertyFixedTiles(t *testing.T) {
 		size := int64(szRaw)
 		bs := int(bsRaw)%1000 + 1
 		data := content.Random(size, seed).Bytes()
-		blocks := Fixed(data, bs)
+		blocks := chunker.Fixed(data, bs)
 		var covered int64
 		for i, b := range blocks {
 			if b.Off != covered {
@@ -211,7 +212,7 @@ func TestPropertyFixedTiles(t *testing.T) {
 
 func TestContentDefinedTiles(t *testing.T) {
 	data := content.Random(200_000, 5).Bytes()
-	blocks := ContentDefined(data, 2048, 8192, 65536)
+	blocks := chunker.ContentDefined(data, 2048, 8192, 65536)
 	var covered int64
 	for _, b := range blocks {
 		if b.Off != covered {
@@ -240,8 +241,8 @@ func TestContentDefinedShiftInvariance(t *testing.T) {
 	// should be identical — the property fixed-size blocking lacks.
 	data := content.Random(300_000, 6).Bytes()
 	shifted := append(append([]byte{}, content.Random(100, 7).Bytes()...), data...)
-	a := ContentDefined(data, 2048, 8192, 65536)
-	b := ContentDefined(shifted, 2048, 8192, 65536)
+	a := chunker.ContentDefined(data, 2048, 8192, 65536)
+	b := chunker.ContentDefined(shifted, 2048, 8192, 65536)
 	sums := make(map[[md5.Size]byte]bool, len(a))
 	for _, blk := range a {
 		sums[blk.Sum] = true
@@ -257,8 +258,8 @@ func TestContentDefinedShiftInvariance(t *testing.T) {
 	}
 
 	// Fixed-size blocking, by contrast, loses (nearly) everything.
-	fa := Fixed(data, 8192)
-	fb := Fixed(shifted, 8192)
+	fa := chunker.Fixed(data, 8192)
+	fb := chunker.Fixed(shifted, 8192)
 	fixedSums := make(map[[md5.Size]byte]bool, len(fa))
 	for _, blk := range fa {
 		fixedSums[blk.Sum] = true
@@ -281,18 +282,18 @@ func TestContentDefinedValidation(t *testing.T) {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("ContentDefined(%v) did not panic", c)
+					t.Errorf("chunker.ContentDefined(%v) did not panic", c)
 				}
 			}()
-			ContentDefined([]byte{1, 2, 3}, c.min, c.avg, c.max)
+			chunker.ContentDefined([]byte{1, 2, 3}, c.min, c.avg, c.max)
 		}()
 	}
 }
 
 func TestContentDefinedDeterministic(t *testing.T) {
 	data := content.Random(50_000, 8).Bytes()
-	a := ContentDefined(data, 1024, 4096, 16384)
-	b := ContentDefined(data, 1024, 4096, 16384)
+	a := chunker.ContentDefined(data, 1024, 4096, 16384)
+	b := chunker.ContentDefined(data, 1024, 4096, 16384)
 	if len(a) != len(b) {
 		t.Fatal("non-deterministic chunk count")
 	}
@@ -304,11 +305,11 @@ func TestContentDefinedDeterministic(t *testing.T) {
 }
 
 func TestStandardBlockSizes(t *testing.T) {
-	if len(StandardBlockSizes) != 8 {
-		t.Fatalf("want 8 standard sizes (Table 3), got %d", len(StandardBlockSizes))
+	if len(chunker.StandardBlockSizes) != 8 {
+		t.Fatalf("want 8 standard sizes (Table 3), got %d", len(chunker.StandardBlockSizes))
 	}
-	if StandardBlockSizes[0] != 128<<10 || StandardBlockSizes[7] != 16<<20 {
-		t.Fatalf("standard sizes = %v", StandardBlockSizes)
+	if chunker.StandardBlockSizes[0] != 128<<10 || chunker.StandardBlockSizes[7] != 16<<20 {
+		t.Fatalf("standard sizes = %v", chunker.StandardBlockSizes)
 	}
 }
 
@@ -317,7 +318,7 @@ func BenchmarkFixed1MB(b *testing.B) {
 	b.SetBytes(1 << 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Fixed(data, 128<<10)
+		chunker.Fixed(data, 128<<10)
 	}
 }
 
@@ -326,6 +327,6 @@ func BenchmarkContentDefined1MB(b *testing.B) {
 	b.SetBytes(1 << 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ContentDefined(data, 2048, 8192, 65536)
+		chunker.ContentDefined(data, 2048, 8192, 65536)
 	}
 }

@@ -1,0 +1,76 @@
+package chunker
+
+// Reference cut-point scans: the byte-at-a-time loops the optimized
+// CutPoints/CutPointsNC paths must agree with exactly. They judge every
+// byte with the full length checks — no warm-up skip, no segment
+// bounds — which makes them obviously correct and obviously slow. They
+// are not test fixtures: CutPoints falls back to them whenever
+// min < gearWindow (the skip would underrun the chunk start), and the
+// differential harness holds the fast paths to them on every random
+// parameter draw, so they must stay in the package proper.
+
+// cutPointsRef is the reference boundary scan for CutPoints: the
+// original ContentDefined loop with the MD5 pass removed. Callers have
+// validated the parameters.
+func cutPointsRef(data []byte, min, avg, max int) []Range {
+	mask := uint64(avg - 1)
+	var cuts []Range
+	start := 0
+	var h uint64
+	for i := 0; i < len(data); i++ {
+		h = (h << 1) + gearTable[data[i]]
+		length := i - start + 1
+		if (length >= min && h&mask == mask) || length >= max {
+			cuts = append(cuts, Range{Off: int64(start), Len: int64(length)})
+			start = i + 1
+			h = 0
+		}
+	}
+	if start < len(data) {
+		cuts = append(cuts, Range{Off: int64(start), Len: int64(len(data) - start)})
+	}
+	return cuts
+}
+
+// cutPointsNCRef is the reference scan for CutPointsNC: two-mask
+// normalization judged byte-at-a-time. Lengths in [min, avg) use the
+// strict mask (one bit more than avg's), lengths in [avg, max) the
+// loose one (one bit fewer), and max still forces a cut.
+func cutPointsNCRef(data []byte, min, avg, max int) []Range {
+	maskS := uint64(2*avg - 1)
+	maskL := uint64(avg/2 - 1)
+	var cuts []Range
+	start := 0
+	var h uint64
+	for i := 0; i < len(data); i++ {
+		h = (h << 1) + gearTable[data[i]]
+		length := i - start + 1
+		cut := false
+		switch {
+		case length >= max:
+			cut = true
+		case length < min:
+		case length < avg:
+			cut = h&maskS == maskS
+		default:
+			cut = h&maskL == maskL
+		}
+		if cut {
+			cuts = append(cuts, Range{Off: int64(start), Len: int64(length)})
+			start = i + 1
+			h = 0
+		}
+	}
+	if start < len(data) {
+		cuts = append(cuts, Range{Off: int64(start), Len: int64(len(data) - start)})
+	}
+	return cuts
+}
+
+// contentDefinedRef fingerprints the reference scan's chunks: the
+// oracle the differential harness compares the full optimized pipeline
+// (skip-scan geometry + batched hashing) against, block for block.
+func contentDefinedRef(data []byte, min, avg, max int) []Block {
+	checkCDCParams(min, avg, max)
+	return sumBlocks(data, cutPointsRef(data, min, avg, max))
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"cloudsync/internal/chunker"
 )
 
 // MaterializeLimit is the largest blob Bytes will materialize. It keeps
@@ -69,6 +71,7 @@ type Blob struct {
 	sum       [md5.Size]byte
 	sumOK     bool
 	blockSums map[int][][md5.Size]byte
+	cdcBlocks map[cdcKey][]chunker.Block
 }
 
 // Random returns an incompressible blob of the given size. Blobs with

@@ -22,15 +22,25 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"cloudsync/internal/chunker"
 )
 
-// fpKey identifies a cached fingerprint computation. blockSize 0 is the
-// whole-content MD5; positive values are fixed-block fingerprints.
+// cdcKey is one content-defined chunking parameterization.
+type cdcKey struct {
+	min, avg, max int
+}
+
+// fpKey identifies a cached fingerprint computation. blockSize 0 with a
+// zero cdc is the whole-content MD5; a positive blockSize is a
+// fixed-block fingerprint pass; a non-zero cdc is a content-defined
+// chunking (blockSize 0).
 type fpKey struct {
 	kind      Kind
 	seed      int64
 	size      int64
 	blockSize int
+	cdc       cdcKey
 }
 
 // fingerprintCache is a concurrency-safe LRU over descriptor-blob
@@ -45,9 +55,13 @@ type fingerprintCache struct {
 	hits, misses atomic.Int64
 }
 
+// fpEntry holds one computation's results: block sums for whole-file
+// and fixed-block keys, full chunk records (geometry + sum) for
+// content-defined keys.
 type fpEntry struct {
-	key  fpKey
-	sums [][md5.Size]byte
+	key    fpKey
+	sums   [][md5.Size]byte
+	blocks []chunker.Block
 }
 
 // DefaultFingerprintCacheCapacity bounds the process-wide cache. At 16
@@ -62,7 +76,7 @@ var fpCache = &fingerprintCache{
 	entries:  make(map[fpKey]*list.Element),
 }
 
-func (c *fingerprintCache) get(k fpKey) ([][md5.Size]byte, bool) {
+func (c *fingerprintCache) get(k fpKey) (*fpEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
@@ -72,19 +86,19 @@ func (c *fingerprintCache) get(k fpKey) ([][md5.Size]byte, bool) {
 	}
 	c.ll.MoveToFront(el)
 	c.hits.Add(1)
-	return el.Value.(*fpEntry).sums, true
+	return el.Value.(*fpEntry), true
 }
 
-func (c *fingerprintCache) put(k fpKey, sums [][md5.Size]byte) {
+func (c *fingerprintCache) put(e *fpEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[k]; ok {
+	if el, ok := c.entries[e.key]; ok {
 		// A concurrent caller computed the same key; the values are
 		// identical by construction, keep the resident one.
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[k] = c.ll.PushFront(&fpEntry{key: k, sums: sums})
+	c.entries[e.key] = c.ll.PushFront(e)
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -152,8 +166,8 @@ func (b *Blob) MD5() [md5.Size]byte {
 	b.mu.Unlock()
 
 	key := fpKey{kind: b.kind, seed: b.seed, size: b.size}
-	if sums, ok := fpCache.get(key); ok {
-		return b.rememberSum(sums[0])
+	if e, ok := fpCache.get(key); ok {
+		return b.rememberSum(e.sums[0])
 	}
 	h := md5.New()
 	bp := getHashBuffer(256 << 10)
@@ -163,7 +177,7 @@ func (b *Blob) MD5() [md5.Size]byte {
 	}
 	var sum [md5.Size]byte
 	h.Sum(sum[:0])
-	fpCache.put(key, [][md5.Size]byte{sum})
+	fpCache.put(&fpEntry{key: key, sums: [][md5.Size]byte{sum}})
 	return b.rememberSum(sum)
 }
 
@@ -210,8 +224,8 @@ func BlockFingerprints(b *Blob, blockSize int) [][md5.Size]byte {
 	}
 
 	key := fpKey{kind: b.kind, seed: b.seed, size: b.size, blockSize: blockSize}
-	if sums, ok := fpCache.get(key); ok {
-		return sums
+	if e, ok := fpCache.get(key); ok {
+		return e.sums
 	}
 	n := (b.size + int64(blockSize) - 1) / int64(blockSize)
 	sums := make([][md5.Size]byte, 0, n)
@@ -230,6 +244,41 @@ func BlockFingerprints(b *Blob, blockSize int) [][md5.Size]byte {
 			panic(fmt.Sprintf("content: fingerprinting %v: %v", b, err))
 		}
 	}
-	fpCache.put(key, sums)
+	fpCache.put(&fpEntry{key: key, sums: sums})
 	return sums
+}
+
+// CDCFingerprints returns the content-defined chunking of the blob —
+// exactly chunker.ContentDefined(b.Bytes(), min, avg, max) — through
+// the same two-layer memoization as BlockFingerprints: literal blobs
+// memoize per blob and parameter triple, descriptor blobs share the
+// process-wide LRU keyed by blob identity plus the triple. The boundary
+// scan runs geometry-first (chunker.CutPoints) and the strong hashes
+// are batched over the resulting ranges, so a cache hit skips both
+// passes. The result is shared with the caches — callers must not
+// mutate it. Unlike BlockFingerprints this materializes the content
+// (the rolling scan needs the bytes in memory), so it panics beyond
+// MaterializeLimit.
+func CDCFingerprints(b *Blob, min, avg, max int) []chunker.Block {
+	ck := cdcKey{min: min, avg: avg, max: max}
+	if b.kind == KindBytes {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if blocks, ok := b.cdcBlocks[ck]; ok {
+			return blocks
+		}
+		blocks := chunker.ContentDefined(b.data, min, avg, max)
+		if b.cdcBlocks == nil {
+			b.cdcBlocks = make(map[cdcKey][]chunker.Block)
+		}
+		b.cdcBlocks[ck] = blocks
+		return blocks
+	}
+	key := fpKey{kind: b.kind, seed: b.seed, size: b.size, cdc: ck}
+	if e, ok := fpCache.get(key); ok {
+		return e.blocks
+	}
+	blocks := chunker.ContentDefined(b.Bytes(), min, avg, max)
+	fpCache.put(&fpEntry{key: key, blocks: blocks})
+	return blocks
 }

@@ -4,6 +4,8 @@ import (
 	"crypto/md5"
 	"sync"
 	"testing"
+
+	"cloudsync/internal/chunker"
 )
 
 // TestBlockFingerprintsMatchDirectHashing checks every kind against a
@@ -142,5 +144,68 @@ func TestConcurrentFingerprinting(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("block %d corrupted under concurrency", i)
 		}
+	}
+}
+
+// TestCDCFingerprintsMatchChunker holds CDCFingerprints to a straight
+// chunker.ContentDefined pass on the materialized bytes, for every
+// blob kind.
+func TestCDCFingerprintsMatchChunker(t *testing.T) {
+	ResetFingerprintCache()
+	const min, avg, max = 2 << 10, 8 << 10, 32 << 10
+	blobs := []*Blob{
+		Random(100<<10, 7),
+		Text(65<<10, 8),
+		Zeros(50_000),
+		FromBytes(append([]byte("cdc fingerprint"), Random(40<<10, 11).Bytes()...)),
+	}
+	for _, b := range blobs {
+		want := chunker.ContentDefined(b.Bytes(), min, avg, max)
+		got := CDCFingerprints(b, min, avg, max)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d chunks, want %d", b, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v chunk %d: %+v, want %+v", b, i, got[i], want[i])
+			}
+		}
+	}
+	if CDCFingerprints(Zeros(0), min, avg, max) != nil {
+		t.Fatal("empty blob should have no chunks")
+	}
+}
+
+// TestCDCFingerprintsCacheReuse: descriptor blobs share one chunking
+// per (identity, params) across instances; literal blobs memoize on the
+// blob; distinct params are distinct entries.
+func TestCDCFingerprintsCacheReuse(t *testing.T) {
+	ResetFingerprintCache()
+	const min, avg, max = 1 << 10, 4 << 10, 16 << 10
+	a := CDCFingerprints(Random(64<<10, 42), min, avg, max)
+	b := CDCFingerprints(Random(64<<10, 42), min, avg, max)
+	hits, misses, entries := FingerprintCacheStats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("stats = %d hits / %d misses / %d entries, want 1/1/1", hits, misses, entries)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("second lookup did not return the cached chunking")
+	}
+	// A different parameter triple or a fixed-block pass on the same
+	// content is a distinct entry, not a collision.
+	CDCFingerprints(Random(64<<10, 42), min, avg, 32<<10)
+	BlockFingerprints(Random(64<<10, 42), avg)
+	if _, _, entries := FingerprintCacheStats(); entries != 3 {
+		t.Fatalf("entries = %d, want 3 distinct keys", entries)
+	}
+
+	lit := FromBytes(Random(64<<10, 42).Bytes())
+	la := CDCFingerprints(lit, min, avg, max)
+	lb := CDCFingerprints(lit, min, avg, max)
+	if &la[0] != &lb[0] {
+		t.Fatal("literal blob did not memoize its chunking")
+	}
+	if _, _, entries := FingerprintCacheStats(); entries != 3 {
+		t.Fatal("literal blob chunking must not occupy the process-wide cache")
 	}
 }

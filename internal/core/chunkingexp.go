@@ -32,6 +32,27 @@ type ChunkingCell struct {
 // upload cost of a version is the volume of chunks the store has not
 // seen yet (or, for rsync, the encoded delta).
 func ChunkingAblation(versions int, fileSize int64, editSize int) []ChunkingCell {
+	return runChunkingAblation(versions, fileSize, editSize, false)
+}
+
+// ChunkingAblationNC is the ablation with one extra row: normalized
+// (two-mask) content-defined chunking, which trades a slightly less
+// content-driven boundary choice for a tighter chunk-size distribution.
+// It is an opt-in extra — it consumes content seeds, so it never runs
+// as part of the pinned experiment set.
+func ChunkingAblationNC(versions int, fileSize int64, editSize int) []ChunkingCell {
+	return runChunkingAblation(versions, fileSize, editSize, true)
+}
+
+// chunkScheme is one chunk-store discipline under ablation. Chunking
+// runs through content.CDCFingerprints / chunker so repeated
+// fingerprinting of the same blob is a cache hit.
+type chunkScheme struct {
+	name   string
+	chunks func(b *content.Blob) []chunker.Block
+}
+
+func runChunkingAblation(versions int, fileSize int64, editSize int, normalized bool) []ChunkingCell {
 	if versions < 2 || fileSize <= 0 || fileSize > content.MaterializeLimit || editSize <= 0 {
 		panic(fmt.Sprintf("core: ChunkingAblation(%d, %d, %d) out of range", versions, fileSize, editSize))
 	}
@@ -55,18 +76,25 @@ func ChunkingAblation(versions int, fileSize int64, editSize int) []ChunkingCell
 		v = append(v, prev[off:]...)
 		chain[i] = v
 	}
+	blobs := make([]*content.Blob, versions)
+	for i, data := range chain {
+		blobs[i] = content.FromBytes(data)
+	}
 
 	const fixedBlock = 8 << 10
-	schemes := []struct {
-		name   string
-		chunks func(data []byte) []chunker.Block
-	}{
-		{"fixed 8 KB blocks", func(data []byte) []chunker.Block {
-			return chunker.Fixed(data, fixedBlock)
+	schemes := []chunkScheme{
+		{"fixed 8 KB blocks", func(b *content.Blob) []chunker.Block {
+			return chunker.Fixed(b.Bytes(), fixedBlock)
 		}},
-		{"content-defined (2/8/32 KB)", func(data []byte) []chunker.Block {
-			return chunker.ContentDefined(data, 2<<10, 8<<10, 32<<10)
+		{"content-defined (2/8/32 KB)", func(b *content.Blob) []chunker.Block {
+			return content.CDCFingerprints(b, 2<<10, 8<<10, 32<<10)
 		}},
+	}
+	if normalized {
+		schemes = append(schemes, chunkScheme{
+			"content-defined normalized (2/8/32 KB)", func(b *content.Blob) []chunker.Block {
+				return chunker.ContentDefinedNC(b.Bytes(), 2<<10, 8<<10, 32<<10)
+			}})
 	}
 
 	// The chain is read-only from here on; the scheme evaluations (each
@@ -77,12 +105,12 @@ func ChunkingAblation(versions int, fileSize int64, editSize int) []ChunkingCell
 		evals = append(evals, func() ChunkingCell {
 			seen := make(map[dedup.Fingerprint]struct{})
 			cell := ChunkingCell{Scheme: s.name}
-			for i, data := range chain {
+			for i, b := range blobs {
 				var uploaded int64
-				for _, b := range s.chunks(data) {
-					if _, dup := seen[b.Sum]; !dup {
-						seen[b.Sum] = struct{}{}
-						uploaded += int64(b.Size)
+				for _, blk := range s.chunks(b) {
+					if _, dup := seen[blk.Sum]; !dup {
+						seen[blk.Sum] = struct{}{}
+						uploaded += int64(blk.Size)
 					}
 				}
 				if i == 0 {

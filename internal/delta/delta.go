@@ -12,7 +12,6 @@
 package delta
 
 import (
-	"bytes"
 	"crypto/md5"
 	"fmt"
 )
@@ -73,13 +72,26 @@ func (s Signature) WireSize() int {
 }
 
 // weakSum is the Adler-32-style rolling checksum rsync uses: two 16-bit
-// sums packed into 32 bits.
+// sums packed into 32 bits. The loop is the sequential recurrence
+// a += x; b += a (identical mod 2^16 to weighting each byte by its
+// distance from the window end — weakSumRef), unrolled four bytes per
+// iteration; uint32 overflow is harmless because only the low 16 bits
+// of each accumulator survive. Equivalence to weakSumRef is pinned by
+// the differential harness.
 func weakSum(data []byte) uint32 {
 	var a, b uint32
-	n := uint32(len(data))
-	for i, ch := range data {
-		a += uint32(ch)
-		b += (n - uint32(i)) * uint32(ch)
+	i := 0
+	for ; i+4 <= len(data); i += 4 {
+		x0 := uint32(data[i])
+		x1 := uint32(data[i+1])
+		x2 := uint32(data[i+2])
+		x3 := uint32(data[i+3])
+		b += 4*a + 4*x0 + 3*x1 + 2*x2 + x3
+		a += x0 + x1 + x2 + x3
+	}
+	for ; i < len(data); i++ {
+		a += uint32(data[i])
+		b += a
 	}
 	return (a & 0xffff) | (b << 16)
 }
@@ -234,10 +246,33 @@ func (wt *weakTable) lookup(weak uint32) int32 {
 	return wt.slots[wt.findSlot(weak)]
 }
 
+// tagBits sizes the weak-sum tag bitmap: 2^16 bits = 8 KB, small
+// enough to live in L1 for the whole scan.
+const tagBits = 16
+
+// tagOf folds a 32-bit weak sum to a 16-bit bitmap tag. XORing the two
+// packed 16-bit sums keeps entropy from both halves (the low half
+// alone clusters badly on short windows).
+func tagOf(w uint32) uint32 { return (w ^ (w >> tagBits)) & (1<<tagBits - 1) }
+
 // Compute builds the delta that turns the signed basis into target. The
 // scan matches weak checksums first and confirms with the strong hash,
 // exactly as rsync does; on hash collision the strong check rejects the
 // block and the byte goes out as a literal.
+//
+// Throughput engineering (outputs byte-identical to computeRef, pinned
+// by the differential harness):
+//
+//   - rsync's tag bitmap: every basis block sets one bit of a 2^16-bit
+//     map keyed by its folded weak sum. The per-byte scan tests one bit
+//     and only probes the weak table on a tag hit, so literal-heavy
+//     regions pay a single L1 load per byte instead of a hash-scatter
+//     and probe chain.
+//   - the rolling update is inlined in the miss loop (the hot path on
+//     non-matching regions).
+//   - literal bytes are gathered into one exactly-sized arena after the
+//     scan instead of one allocation+copy per literal op; ops alias the
+//     target only transiently during the scan.
 func Compute(sig Signature, target []byte) Delta {
 	bs := sig.BlockSize
 	if bs <= 0 {
@@ -249,19 +284,52 @@ func Compute(sig Signature, target []byte) Delta {
 	// block (if any) aside for tail matching.
 	wt, partial := buildWeakTable(sig.Blocks, bs)
 
+	// Scan-time literal ops alias target; sealLiterals copies them out.
 	emitLiteral := func(data []byte) {
 		if len(data) == 0 {
 			return
 		}
-		// Copy: target's backing array belongs to the caller.
-		d.Ops = append(d.Ops, Op{Kind: OpLiteral, Data: append([]byte(nil), data...)})
+		d.Ops = append(d.Ops, Op{Kind: OpLiteral, Data: data})
 	}
 
 	litStart := 0
 	i := 0
 	if len(target) >= bs && wt.count > 0 {
+		// Build the tag bitmap over the indexed (full-size) blocks. A set
+		// bit is necessary, not sufficient, for a weak-table hit, so
+		// gating lookups on it never changes a match decision.
+		var bitmap [1 << tagBits / 64]uint64
+		for b := range wt.blocks {
+			if wt.blocks[b].Size == bs {
+				t := tagOf(wt.blocks[b].Weak)
+				bitmap[t>>6] |= 1 << (t & 63)
+			}
+		}
+
 		w := weakSum(target[:bs])
 		for {
+			// Fast path: slide the window until the tag bitmap says this
+			// position could match. The accumulators stay unpacked across
+			// iterations and unmasked — every update is an add/sub, so the
+			// low 16 bits (all the tag and the packed sum ever read) are
+			// exact mod 2^32 — leaving one add chain, one xor/mask fold,
+			// and one L1 bit test per byte. tagOf(w) on the packed sum is
+			// (a^b)&0xffff: w>>16 is b, so the fold xors a into b's low half.
+			a := w & 0xffff
+			b := w >> 16
+			t := (a ^ b) & (1<<tagBits - 1)
+			limit := len(target) - bs
+			for bitmap[t>>6]&(1<<(t&63)) == 0 {
+				if i >= limit {
+					goto tail
+				}
+				out, in := uint32(target[i]), uint32(target[i+bs])
+				a += in - out
+				b += a - uint32(bs)*out
+				i++
+				t = (a ^ b) & (1<<tagBits - 1)
+			}
+			w = (a & 0xffff) | (b & 0xffff << 16)
 			matched := -1
 			if cand := wt.lookup(w); cand >= 0 {
 				strong := md5.Sum(target[i : i+bs])
@@ -291,6 +359,7 @@ func Compute(sig Signature, target []byte) Delta {
 		}
 	}
 
+tail:
 	// Tail: the basis's final partial block can match the target's tail.
 	rest := target[litStart:]
 	if partial != nil && len(rest) >= partial.Size && partial.Size > 0 {
@@ -298,25 +367,65 @@ func Compute(sig Signature, target []byte) Delta {
 		if weakSum(tail) == partial.Weak && md5.Sum(tail) == partial.Strong {
 			emitLiteral(rest[:len(rest)-partial.Size])
 			d.Ops = append(d.Ops, Op{Kind: OpCopy, Index: partial.Index})
+			sealLiterals(&d)
 			return d
 		}
 	}
 	emitLiteral(rest)
+	sealLiterals(&d)
 	return d
+}
+
+// sealLiterals copies every literal op's bytes — which alias the
+// caller's target during the scan — into one exactly-sized arena, so
+// the returned delta owns its memory with a single allocation no
+// matter how many literal runs the scan produced.
+func sealLiterals(d *Delta) {
+	total := 0
+	for _, op := range d.Ops {
+		if op.Kind == OpLiteral {
+			total += len(op.Data)
+		}
+	}
+	if total == 0 {
+		return
+	}
+	arena := make([]byte, 0, total)
+	for idx := range d.Ops {
+		if d.Ops[idx].Kind != OpLiteral {
+			continue
+		}
+		off := len(arena)
+		arena = append(arena, d.Ops[idx].Data...)
+		d.Ops[idx].Data = arena[off:len(arena):len(arena)]
+	}
 }
 
 // Apply reconstructs the target from the basis and a delta. It verifies
 // block references and the final size, returning an error on any
 // inconsistency.
+//
+// The output is a single exactly-sized allocation — TargetSize is known
+// up front — written with bounds-checked copies: an op that would
+// overrun the declared size fails before writing rather than growing
+// the buffer (the old bytes.Buffer path paid an alloc plus at least one
+// grow per apply and only caught oversize deltas at the end).
 func Apply(basis []byte, d Delta) ([]byte, error) {
 	if d.BlockSize <= 0 {
 		return nil, fmt.Errorf("delta: apply with invalid block size %d", d.BlockSize)
 	}
-	out := bytes.NewBuffer(make([]byte, 0, d.TargetSize))
+	if d.TargetSize < 0 {
+		return nil, fmt.Errorf("delta: apply with negative target size %d", d.TargetSize)
+	}
+	out := make([]byte, d.TargetSize)
+	pos := 0
 	for i, op := range d.Ops {
 		switch op.Kind {
 		case OpLiteral:
-			out.Write(op.Data)
+			if pos+len(op.Data) > len(out) {
+				return nil, fmt.Errorf("delta: op %d overruns target size %d", i, d.TargetSize)
+			}
+			pos += copy(out[pos:], op.Data)
 		case OpCopy:
 			off := op.Index * d.BlockSize
 			if op.Index < 0 || off >= len(basis) {
@@ -327,13 +436,16 @@ func Apply(basis []byte, d Delta) ([]byte, error) {
 			if end > len(basis) {
 				end = len(basis)
 			}
-			out.Write(basis[off:end])
+			if pos+(end-off) > len(out) {
+				return nil, fmt.Errorf("delta: op %d overruns target size %d", i, d.TargetSize)
+			}
+			pos += copy(out[pos:], basis[off:end])
 		default:
 			return nil, fmt.Errorf("delta: op %d has unknown kind %d", i, op.Kind)
 		}
 	}
-	if int64(out.Len()) != d.TargetSize {
-		return nil, fmt.Errorf("delta: reconstructed %d bytes, want %d", out.Len(), d.TargetSize)
+	if int64(pos) != d.TargetSize {
+		return nil, fmt.Errorf("delta: reconstructed %d bytes, want %d", pos, d.TargetSize)
 	}
-	return out.Bytes(), nil
+	return out, nil
 }

@@ -234,7 +234,7 @@ func TestPropertyWireSizeBounds(t *testing.T) {
 	}
 }
 
-func BenchmarkCompute1MBUnchanged(b *testing.B) {
+func BenchmarkDeltaCompute1MBUnchanged(b *testing.B) {
 	data := content.Random(1<<20, 1).Bytes()
 	sig := Sign(data, DefaultBlockSize)
 	b.SetBytes(1 << 20)
@@ -244,13 +244,129 @@ func BenchmarkCompute1MBUnchanged(b *testing.B) {
 	}
 }
 
-func BenchmarkCompute1MBFullRewrite(b *testing.B) {
+// BenchmarkDeltaCompute1MBFullRewrite is the literal-heavy worst case:
+// nothing matches, so every byte of the target rolls through the
+// scanner — the path the tag bitmap exists for.
+//
+// The seeds must be far apart: content.Random(_, s) streams are windows
+// of one splitmix orbit, so seeds within size/8 words of each other
+// share content (seed 2's stream is seed 1's shifted by 8 bytes). The
+// literal-fraction assertion keeps this bench honest about being a
+// rewrite.
+func BenchmarkDeltaCompute1MBFullRewrite(b *testing.B) {
 	basis := content.Random(1<<20, 1).Bytes()
-	target := content.Random(1<<20, 2).Bytes()
+	target := content.Random(1<<20, 1<<20).Bytes()
 	sig := Sign(basis, DefaultBlockSize)
+	if d := Compute(sig, target); d.LiteralBytes() != len(target) {
+		b.Fatalf("rewrite delta matched %d bytes; seeds overlap", len(target)-d.LiteralBytes())
+	}
 	b.SetBytes(1 << 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Compute(sig, target)
+	}
+}
+
+// BenchmarkDeltaCompute1MBFullRewriteRef is the retained pre-bitmap
+// scanner on the same all-literal input — the before/after of the tag
+// bitmap, visible in every bench run rather than only in history.
+func BenchmarkDeltaCompute1MBFullRewriteRef(b *testing.B) {
+	basis := content.Random(1<<20, 1).Bytes()
+	target := content.Random(1<<20, 1<<20).Bytes()
+	sig := Sign(basis, DefaultBlockSize)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		computeRef(sig, target)
+	}
+}
+
+// BenchmarkDeltaCompute1MBInsertShift models the workload content-
+// defined chunking and rsync exist for: a small insertion near the
+// front misaligns every later block, so the scanner rolls byte-by-byte
+// until it realigns and then copies block after block.
+func BenchmarkDeltaCompute1MBInsertShift(b *testing.B) {
+	basis := content.Random(1<<20, 1).Bytes()
+	ins := content.Random(137, 3).Bytes()
+	target := append(append(append([]byte(nil), basis[:1000]...), ins...), basis[1000:]...)
+	sig := Sign(basis, DefaultBlockSize)
+	d := Compute(sig, target)
+	if d.LiteralBytes() > len(target)/10 {
+		b.Fatalf("insert-shift delta resent %d literal bytes", d.LiteralBytes())
+	}
+	b.SetBytes(int64(len(target)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(sig, target)
+	}
+}
+
+// BenchmarkDeltaComputeSparseEdits: a handful of scattered single-byte
+// edits — mostly aligned copies with short literal runs between them.
+func BenchmarkDeltaComputeSparseEdits(b *testing.B) {
+	basis := content.Random(1<<20, 1).Bytes()
+	target := append([]byte(nil), basis...)
+	for off := 50_000; off < len(target); off += 200_000 {
+		target[off] ^= 0xFF
+	}
+	sig := Sign(basis, DefaultBlockSize)
+	b.SetBytes(int64(len(target)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(sig, target)
+	}
+}
+
+func BenchmarkDeltaSign1MB(b *testing.B) {
+	data := content.Random(1<<20, 1).Bytes()
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sign(data, DefaultBlockSize)
+	}
+}
+
+// BenchmarkDeltaApply pins Apply's allocation budget: one exactly-sized
+// output slice per call, regardless of how many ops the delta carries.
+func BenchmarkDeltaApply(b *testing.B) {
+	basis := content.Random(1<<20, 1).Bytes()
+	ins := content.Random(137, 3).Bytes()
+	target := append(append(append([]byte(nil), basis[:1000]...), ins...), basis[1000:]...)
+	d := Compute(Sign(basis, DefaultBlockSize), target)
+	b.SetBytes(int64(len(target)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(basis, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeakSum(b *testing.B) {
+	data := content.Random(1<<20, 1).Bytes()
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if weakSum(data) == 0 {
+			b.Fatal("unlikely zero sum")
+		}
+	}
+}
+
+// TestApplySingleAllocation pins the exact-size Apply contract at the
+// allocation level: the output slice must be the only allocation.
+func TestApplySingleAllocation(t *testing.T) {
+	basis := content.Random(256<<10, 1).Bytes()
+	target := append([]byte(nil), basis...)
+	target[100_000] ^= 0xFF
+	d := Compute(Sign(basis, 4096), target)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Apply(basis, d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Apply allocated %.1f times per run, want ≤ 1", allocs)
 	}
 }

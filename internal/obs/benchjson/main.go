@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -111,7 +112,12 @@ func parseLine(line string) (name string, r result, ok bool) {
 		case "B/op":
 			r.bytesPerOp = int64(v)
 		case "MB/s":
-			// throughput is derivable from ns/op; skip
+			// SetBytes throughput: recorded as an extra so kernel
+			// benchmarks can be gated on MB/s in -compare mode.
+			if r.extra == nil {
+				r.extra = make(map[string]float64)
+			}
+			r.extra["mb-per-sec"] = v
 		default:
 			// A custom metric unit (testing.B ReportMetric convention):
 			// all-lowercase with dashes, to avoid swallowing stray prose.
@@ -133,10 +139,14 @@ func main() {
 		"compare two -raw reports (OLD NEW file args) instead of reading stdin")
 	tolerance := flag.Float64("tolerance-pct", 10,
 		"allowed allocs/op regression in -compare mode, percent")
+	thrTolerance := flag.Float64("throughput-tolerance-pct", 50,
+		"allowed mb-per-sec drop in -compare mode, percent (loose: absolute throughput is machine-dependent)")
+	filter := flag.String("filter", "",
+		"in -compare mode, only diff benchmarks whose name matches this regexp")
 	flag.Parse()
 
 	if *compare {
-		os.Exit(runCompare(flag.Args(), *tolerance))
+		os.Exit(runCompare(flag.Args(), *tolerance, *thrTolerance, *filter))
 	}
 
 	results := map[string]result{}
@@ -195,30 +205,50 @@ func main() {
 // the old report is a regression. ns/op changes and allocation
 // improvements are reported but never fail. Load-generator entries
 // (extra["reqs-per-sec"] set on both sides) are gated by compareLoad on
-// throughput and tail latency instead. Benchmarks present in only one
-// report are drift too — a renamed or dropped benchmark silently
-// invalidates the baseline. Returns the process exit code: 0 within
-// tolerance, 1 regression/drift, 2 usage or I/O error.
-func runCompare(args []string, tolerancePct float64) int {
+// throughput and tail latency instead; kernel entries (a "mb-per-sec"
+// extra from SetBytes on both sides) are additionally gated on
+// throughput with the looser thrTolerancePct, since absolute MB/s moves
+// with the machine but a kernel falling to a fraction of its baseline
+// is an algorithmic regression on any hardware. A non-empty filter
+// regexp restricts the diff to matching names, so a kernel-only re-run
+// can be compared against a full baseline without the missing entries
+// reading as drift. Benchmarks present in only one report are drift
+// too — a renamed or dropped benchmark silently invalidates the
+// baseline. Returns the process exit code: 0 within tolerance, 1
+// regression/drift, 2 usage or I/O error.
+func runCompare(args []string, tolerancePct, thrTolerancePct float64, filter string) int {
 	// The flag package stops at the first positional argument, so
-	// accept `-tolerance-pct N` after the file pair too.
+	// accept the option flags after the file pair too.
 	var files []string
 	for i := 0; i < len(args); i++ {
-		if a := strings.TrimLeft(args[i], "-"); a == "tolerance-pct" && strings.HasPrefix(args[i], "-") {
-			if i+1 >= len(args) {
-				fmt.Fprintln(os.Stderr, "benchjson: -tolerance-pct needs a value")
-				return 2
-			}
-			v, err := strconv.ParseFloat(args[i+1], 64)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: bad -tolerance-pct %q\n", args[i+1])
-				return 2
-			}
-			tolerancePct = v
-			i++
+		if !strings.HasPrefix(args[i], "-") {
+			files = append(files, args[i])
 			continue
 		}
-		files = append(files, args[i])
+		name := strings.TrimLeft(args[i], "-")
+		if name != "tolerance-pct" && name != "throughput-tolerance-pct" && name != "filter" {
+			files = append(files, args[i])
+			continue
+		}
+		if i+1 >= len(args) {
+			fmt.Fprintf(os.Stderr, "benchjson: -%s needs a value\n", name)
+			return 2
+		}
+		i++
+		if name == "filter" {
+			filter = args[i]
+			continue
+		}
+		v, err := strconv.ParseFloat(args[i], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -%s %q\n", name, args[i])
+			return 2
+		}
+		if name == "tolerance-pct" {
+			tolerancePct = v
+		} else {
+			thrTolerancePct = v
+		}
 	}
 	args = files
 	if len(args) != 2 {
@@ -234,6 +264,23 @@ func runCompare(args []string, tolerancePct float64) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
+	}
+	if filter != "" {
+		re, err := regexp.Compile(filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -filter %q: %v\n", filter, err)
+			return 2
+		}
+		for name := range old {
+			if !re.MatchString(name) {
+				delete(old, name)
+			}
+		}
+		for name := range new_ {
+			if !re.MatchString(name) {
+				delete(new_, name)
+			}
+		}
 	}
 
 	oldNames := make([]string, 0, len(old))
@@ -258,6 +305,26 @@ func runCompare(args []string, tolerancePct float64) int {
 				exit = 1
 			}
 			continue
+		}
+		if o.Extra["mb-per-sec"] > 0 && n.Extra["mb-per-sec"] > 0 {
+			// A data-plane kernel with SetBytes throughput: gate the MB/s
+			// drop (loosely — absolute throughput is machine-dependent,
+			// the gate exists to catch falling off the algorithmic cliff),
+			// then fall through to the allocation budget below.
+			oldMBs, newMBs := o.Extra["mb-per-sec"], n.Extra["mb-per-sec"]
+			dropPct := (oldMBs - newMBs) / oldMBs * 100
+			switch {
+			case dropPct > thrTolerancePct:
+				fmt.Printf("REGRESS %-40s MB/s %.0f → %.0f (-%.1f%% > %.1f%%)\n",
+					name, oldMBs, newMBs, dropPct, thrTolerancePct)
+				exit = 1
+			case dropPct < 0:
+				fmt.Printf("improve %-40s MB/s %.0f → %.0f (+%.1f%%)\n",
+					name, oldMBs, newMBs, -dropPct)
+			default:
+				fmt.Printf("ok      %-40s MB/s %.0f → %.0f (-%.1f%%)\n",
+					name, oldMBs, newMBs, dropPct)
+			}
 		}
 		switch {
 		case o.AllocsPerOp == 0 && n.AllocsPerOp == 0:
